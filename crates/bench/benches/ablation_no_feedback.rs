@@ -1,0 +1,48 @@
+//! Ablation (motivating §2.1.1): the value of device feedback.
+//!
+//! MLC writes are non-deterministic, so a DRAM-style memory controller
+//! without the on-DIMM bridge chip must hold each bank (and its power
+//! tokens) for the *worst-case* iteration count on every write. The paper
+//! adopts Fang et al.'s universal memory interface precisely to avoid
+//! this; this ablation quantifies how much that choice is worth.
+
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_sim::SchemeSetup;
+use fpb_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = bench_options();
+    let wls = all_workloads();
+
+    let setups = vec![
+        SchemeSetup::dimm_chip(&cfg),
+        SchemeSetup::dimm_chip(&cfg).with_worst_case_mc(),
+        SchemeSetup::ideal(&cfg),
+        SchemeSetup::ideal(&cfg).with_worst_case_mc(),
+    ];
+    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let rows = speedup_rows(&wls, &matrix, 0);
+    print_table(
+        "Ablation: feedback-less (worst-case) MC, vs DIMM+chip with feedback",
+        &["DIMM+chip", "chip+worstMC", "Ideal", "Ideal+worstMC"],
+        &rows,
+    );
+
+    let g = rows.last().expect("gmean");
+    println!("\npaper (§2.1.1): assuming worst-case iterations 'greatly degrades performance'");
+    println!(
+        "measured: worst-case MC runs at {:.2}x of the feedback design (power-budgeted), {:.2}x (ideal power)",
+        g.values[1],
+        g.values[3] / g.values[2]
+    );
+    assert!(
+        g.values[1] < 0.95,
+        "worst-case holds must cost real performance: {}",
+        g.values[1]
+    );
+    assert!(
+        g.values[3] < g.values[2],
+        "even unlimited power cannot hide worst-case bank holds"
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 10 — percentage of execution cycles spent in write bursts for
+//! the baseline (DIMM+chip).
+//!
+//! Expected shape (§5.2): write-intensive workloads spend a large
+//! fraction of time in bursts (the paper's average is 52.2 %), which is
+//! the motivation for improving write throughput.
+
+use fpb_bench::{all_workloads, bench_options, print_series};
+use fpb_sim::{run_workload, SchemeSetup};
+use fpb_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = bench_options();
+    let setup = SchemeSetup::dimm_chip(&cfg);
+
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    let wls = all_workloads();
+    for wl in &wls {
+        let m = run_workload(wl, &cfg, &setup, &opts);
+        let pct = m.burst_fraction() * 100.0;
+        sum += pct;
+        rows.push((wl.name.to_string(), pct));
+    }
+    let avg = sum / wls.len() as f64;
+    rows.push(("mean".to_string(), avg));
+    print_series(
+        "Figure 10: % of execution cycles in write burst (baseline)",
+        "%",
+        &rows,
+    );
+    println!("\npaper mean: 52.2 %; measured mean: {avg:.1} %");
+    assert!(avg > 20.0, "write bursts must dominate write-heavy runs");
+}

@@ -1,0 +1,57 @@
+//! Figure 12 — cell-mapping optimizations: VIM and BIM vs the naïve
+//! mapping at practical GCP efficiencies, normalized to DIMM+chip.
+//!
+//! Expected shape (§6.1.2): VIM/BIM beat NE at the same efficiency, and
+//! keep the GCP effective even at E_GCP = 0.5.
+
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_pcm::CellMapping;
+use fpb_sim::SchemeSetup;
+use fpb_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = bench_options();
+    let wls = all_workloads();
+
+    let setups = vec![
+        SchemeSetup::dimm_chip(&cfg),
+        SchemeSetup::gcp(&cfg, CellMapping::Naive, 0.7),
+        SchemeSetup::gcp(&cfg, CellMapping::Vim, 0.7),
+        SchemeSetup::gcp(&cfg, CellMapping::Vim, 0.5),
+        SchemeSetup::gcp(&cfg, CellMapping::Bim, 0.7),
+        SchemeSetup::gcp(&cfg, CellMapping::Bim, 0.5),
+    ];
+    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let rows = speedup_rows(&wls, &matrix, 0);
+    print_table(
+        "Figure 12: speedup of cell-mapping optimizations vs DIMM+chip",
+        &["DIMM+chip", "GCP-NE-0.7", "GCP-VIM-0.7", "GCP-VIM-0.5", "GCP-BIM-0.7", "GCP-BIM-0.5"],
+        &rows,
+    );
+
+    let g = rows.last().expect("gmean");
+    println!("\npaper: VIM/BIM at 0.7 come within ~2 % of DIMM-only; BIM slightly best overall");
+    // Divergence note (see EXPERIMENTS.md): in this reproduction's
+    // integer-data model, VIM concentrates the hottest within-word cell
+    // position on one chip (cell 15 and cell 7 both map to chip 7), so
+    // VIM trails NE slightly on integer-heavy workloads instead of
+    // matching BIM as in the paper. BIM's staggering fixes it — the
+    // paper's headline mapping result.
+    assert!(
+        g.values[2] >= g.values[1] - 0.12,
+        "VIM must stay within noise+int-penalty of NE: {} vs {}",
+        g.values[2],
+        g.values[1]
+    );
+    assert!(
+        g.values[4] >= g.values[1] - 0.02,
+        "BIM must not lose to NE: {} vs {}",
+        g.values[4],
+        g.values[1]
+    );
+    assert!(
+        g.values[5] > 1.0,
+        "BIM must keep a 0.5-efficiency GCP useful"
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 15 — BIM speedup as GCP efficiency decreases (0.7 → 0.1), for
+//! astar, mcf and mix_1, normalized to DIMM+chip.
+//!
+//! Expected shape (§6.1.6): BIM preserves the GCP's benefit down to very
+//! low efficiencies (mix_1 stays useful even at 0.2), with benefit
+//! monotone-ish in efficiency.
+
+use fpb_bench::{bench_options, print_table, Row};
+use fpb_pcm::CellMapping;
+use fpb_sim::engine::{run_workload_warmed, warm_cores};
+use fpb_sim::SchemeSetup;
+use fpb_trace::catalog;
+use fpb_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = bench_options();
+    let effs = [0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+    let workloads = ["ast_m", "mcf_m", "mix_1"];
+
+    let mut rows = Vec::new();
+    for name in workloads {
+        let wl = catalog::workload(name).expect("workload");
+        let cores = warm_cores(&wl, &cfg, &opts);
+        let base = run_workload_warmed(&wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts, &cores);
+        let values: Vec<f64> = effs
+            .iter()
+            .map(|&e| {
+                let m = run_workload_warmed(
+                    &wl,
+                    &cfg,
+                    &SchemeSetup::gcp(&cfg, CellMapping::Bim, e),
+                    &opts,
+                    &cores,
+                );
+                m.speedup_over(&base)
+            })
+            .collect();
+        rows.push(Row {
+            label: name.to_string(),
+            values,
+        });
+    }
+
+    print_table(
+        "Figure 15: BIM speedup vs DIMM+chip as GCP efficiency decreases",
+        &["0.7", "0.6", "0.5", "0.4", "0.3", "0.2", "0.1"],
+        &rows,
+    );
+
+    for r in &rows {
+        // The paper's claim (§6.1.6): BIM *preserves* the GCP benefit even
+        // at very low efficiency — the series stays above 1.0 throughout.
+        assert!(
+            r.values.iter().all(|&v| v > 1.0),
+            "{}: BIM must keep the GCP beneficial at every efficiency: {:?}",
+            r.label,
+            r.values
+        );
+        // And the high-efficiency end is at least noise-comparable to the
+        // low end (single-workload runs carry more variance than gmeans).
+        assert!(
+            r.values[0] >= r.values[6] - 0.12,
+            "{}: benefit should not grow as efficiency collapses: {:?}",
+            r.label,
+            r.values
+        );
+    }
+    println!("\nshape check passed: BIM preserves the GCP benefit at low efficiency");
+}

@@ -1,0 +1,58 @@
+//! Figure 16 — FPB-IPM and Multi-RESET speedups over DIMM+chip, with
+//! GCP-BIM-0.7 as the platform, plus the gmean at lower GCP efficiencies.
+//!
+//! Expected shape (§6.2.1): IPM adds a large step over GCP-BIM; IPM+MR
+//! adds a further margin; the result lands within ~12 % of Ideal.
+
+use fpb_bench::{all_workloads, bench_options, geometric_mean, print_table, run_matrix, speedup_rows};
+use fpb_sim::engine::{run_workload_warmed, warm_cores};
+use fpb_sim::SchemeSetup;
+use fpb_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = bench_options();
+    let wls = all_workloads();
+
+    let setups = vec![
+        SchemeSetup::dimm_chip(&cfg),
+        SchemeSetup::gcp(&cfg, fpb_pcm::CellMapping::Bim, 0.7),
+        SchemeSetup::gcp_ipm(&cfg),
+        SchemeSetup::fpb(&cfg),
+        SchemeSetup::ideal(&cfg),
+    ];
+    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let rows = speedup_rows(&wls, &matrix, 0);
+    print_table(
+        "Figure 16: IPM and Multi-RESET speedup vs DIMM+chip (GCP-BIM-0.7)",
+        &["DIMM+chip", "GCP-BIM", "IPM", "IPM+MR", "Ideal"],
+        &rows,
+    );
+
+    // gmean rows at reduced GCP efficiency (gm0.5 / gm0.3 in the figure).
+    for eff in [0.5, 0.3] {
+        let ecfg = cfg.clone().with_gcp_efficiency(eff);
+        let mut speedups = Vec::new();
+        for wl in &wls {
+            let cores = warm_cores(wl, &ecfg, &opts);
+            let base = run_workload_warmed(wl, &ecfg, &SchemeSetup::dimm_chip(&ecfg), &opts, &cores);
+            let m = run_workload_warmed(wl, &ecfg, &SchemeSetup::fpb(&ecfg), &opts, &cores);
+            speedups.push(m.speedup_over(&base));
+        }
+        println!("gm{eff:<8} IPM+MR at E_GCP={eff}: {:.3}", geometric_mean(&speedups));
+    }
+
+    let g = rows.last().expect("gmean");
+    let (gcp, ipm, mr, ideal) = (g.values[1], g.values[2], g.values[3], g.values[4]);
+    println!("\npaper: IPM +26.9 % over GCP-BIM; IPM+MR +75.6 % over DIMM+chip, within 12.2 % of Ideal");
+    println!(
+        "measured: IPM +{:.1} % over GCP-BIM; IPM+MR +{:.1} % over DIMM+chip; {:.1} % below Ideal",
+        (ipm / gcp - 1.0) * 100.0,
+        (mr - 1.0) * 100.0,
+        (1.0 - mr / ideal) * 100.0
+    );
+    assert!(ipm > gcp, "IPM must improve on GCP alone");
+    assert!(mr >= ipm - 0.02, "Multi-RESET must not hurt");
+    assert!(mr <= ideal, "nothing beats Ideal");
+    assert!(mr / ideal > 0.75, "IPM+MR must land near Ideal");
+}

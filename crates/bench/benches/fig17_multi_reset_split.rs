@@ -1,0 +1,41 @@
+//! Figure 17 — Multi-RESET iteration split limit (2, 3 or 4 group-RESETs),
+//! normalized to DIMM+chip.
+//!
+//! Expected shape (§6.2.2): 3 splits is the sweet spot; 4 adds write
+//! latency for little extra admission benefit.
+
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_sim::SchemeSetup;
+use fpb_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = bench_options();
+    let wls = all_workloads();
+
+    let setups = vec![
+        SchemeSetup::dimm_chip(&cfg),
+        SchemeSetup::fpb_with_splits(&cfg, 2),
+        SchemeSetup::fpb_with_splits(&cfg, 3),
+        SchemeSetup::fpb_with_splits(&cfg, 4),
+    ];
+    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let rows = speedup_rows(&wls, &matrix, 0);
+    print_table(
+        "Figure 17: Multi-RESET split limit, speedup vs DIMM+chip",
+        &["DIMM+chip", "IPM+MR2", "IPM+MR3", "IPM+MR4"],
+        &rows,
+    );
+
+    let g = rows.last().expect("gmean");
+    println!("\npaper: best at 3 splits; 4 splits loses ~2 % to added latency");
+    println!(
+        "measured gmeans: MR2 {:.3}, MR3 {:.3}, MR4 {:.3}",
+        g.values[1], g.values[2], g.values[3]
+    );
+    let best = g.values[1..].iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        g.values[2] >= best - 0.03,
+        "3 splits must be at or near the best"
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 22 — FPB speedup for different DIMM power-token budgets (±1/8
+//! of an LCP across all chips; each column normalized to DIMM+chip with
+//! the same budget).
+//!
+//! Expected shape (§6.4.4): FPB helps more when the budget is tighter —
+//! careful budgeting matters most when tokens are scarce.
+
+use fpb_bench::{all_workloads, bench_options, print_table, Row};
+use fpb_sim::engine::{run_workload_warmed, warm_cores};
+use fpb_sim::SchemeSetup;
+use fpb_types::SystemConfig;
+
+fn main() {
+    let opts = bench_options();
+    let wls = all_workloads();
+    let budgets = [466u64, 532, 598];
+
+    let mut rows: Vec<Row> = wls
+        .iter()
+        .map(|wl| Row {
+            label: wl.name.to_string(),
+            values: Vec::new(),
+        })
+        .collect();
+    for &pt in &budgets {
+        let cfg = SystemConfig::default().with_pt_dimm(pt);
+        for (wi, wl) in wls.iter().enumerate() {
+            let cores = warm_cores(wl, &cfg, &opts);
+            let base = run_workload_warmed(wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts, &cores);
+            let fpb = run_workload_warmed(wl, &cfg, &SchemeSetup::fpb(&cfg), &opts, &cores);
+            rows[wi].values.push(fpb.speedup_over(&base));
+        }
+    }
+    let gmeans: Vec<f64> = (0..budgets.len())
+        .map(|c| fpb_bench::geometric_mean(&rows.iter().map(|r| r.values[c]).collect::<Vec<_>>()))
+        .collect();
+    rows.push(Row {
+        label: "gmean".to_string(),
+        values: gmeans.clone(),
+    });
+
+    print_table(
+        "Figure 22: FPB speedup vs DIMM+chip at each DIMM token budget",
+        &["466", "532", "598"],
+        &rows,
+    );
+
+    println!("\npaper: FPB does better with a tighter power budget");
+    println!(
+        "measured gmeans: 466 +{:.1} %, 532 +{:.1} %, 598 +{:.1} %",
+        (gmeans[0] - 1.0) * 100.0,
+        (gmeans[1] - 1.0) * 100.0,
+        (gmeans[2] - 1.0) * 100.0
+    );
+    assert!(
+        gmeans[0] >= gmeans[2] - 0.05,
+        "tight budgets must benefit at least as much as loose ones"
+    );
+}

@@ -1,0 +1,111 @@
+//! Cache access accounting.
+
+/// Hit/miss/eviction counters for one cache.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_cache::CacheStats;
+///
+/// let mut s = CacheStats::default();
+/// s.record_hit();
+/// s.record_miss();
+/// s.record_miss();
+/// assert_eq!(s.accesses(), 3);
+/// assert!((s.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Records a hit.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records an eviction; `dirty` if the victim required a write-back.
+    pub fn record_eviction(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.dirty_evictions += 1;
+        }
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total evictions (clean + dirty).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evictions that produced a write-back.
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CacheStats::new();
+        for _ in 0..7 {
+            s.record_hit();
+        }
+        for _ in 0..3 {
+            s.record_miss();
+        }
+        s.record_eviction(true);
+        s.record_eviction(false);
+        assert_eq!(s.hits(), 7);
+        assert_eq!(s.misses(), 3);
+        assert_eq!(s.accesses(), 10);
+        assert_eq!(s.evictions(), 2);
+        assert_eq!(s.dirty_evictions(), 1);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_miss_rate() {
+        assert_eq!(CacheStats::new().miss_rate(), 0.0);
+    }
+}

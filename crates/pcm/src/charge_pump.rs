@@ -1,0 +1,167 @@
+//! Charge-pump area model (§2.1.3, Eq. 1) and the Table 3 overhead math.
+//!
+//! PCM writes need voltages above `Vdd`, supplied by on-chip Dickson-style
+//! charge pumps whose area is proportional to the maximum current they can
+//! deliver. This is why chip power budgets exist at all — and why FPB-GCP's
+//! one small shared pump beats doubling every local pump.
+
+/// An analytical charge-pump model.
+///
+/// Implements Eq. 1 of the paper:
+///
+/// ```text
+/// A_tot = k · N² / ((N+1)·Vdd − Vout) · I_L / f
+/// ```
+///
+/// where `N` is the stage count, `Vdd` the supply, `Vout` the programming
+/// voltage, `I_L` the load (write) current and `f` the pump frequency.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_pcm::ChargePump;
+///
+/// let lcp = ChargePump::new(4, 1.0, 1.6, 100.0e6, 1.0).unwrap();
+/// // Area scales linearly with deliverable current (Eq. 1) ...
+/// let a1 = lcp.area(0.3);
+/// let a2 = lcp.area(0.6);
+/// assert!((a2 / a1 - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargePump {
+    stages: u32,
+    vdd: f64,
+    vout: f64,
+    freq_hz: f64,
+    k: f64,
+}
+
+impl ChargePump {
+    /// Creates a pump model.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description if the parameters are non-physical:
+    /// zero stages, non-positive voltages/frequency/process constant, or a
+    /// target voltage the stage count cannot reach (`(N+1)·Vdd ≤ Vout`).
+    pub fn new(stages: u32, vdd: f64, vout: f64, freq_hz: f64, k: f64) -> Result<Self, String> {
+        if stages == 0 {
+            return Err("charge pump needs at least one stage".into());
+        }
+        if vdd <= 0.0 || vout <= 0.0 {
+            return Err("voltages must be positive".into());
+        }
+        if freq_hz <= 0.0 || k <= 0.0 {
+            return Err("frequency and process constant must be positive".into());
+        }
+        if (stages as f64 + 1.0) * vdd <= vout {
+            return Err(format!(
+                "{} stages at Vdd={vdd} cannot pump to Vout={vout}",
+                stages
+            ));
+        }
+        Ok(ChargePump {
+            stages,
+            vdd,
+            vout,
+            freq_hz,
+            k,
+        })
+    }
+
+    /// Total pump area (arbitrary process units) to deliver load current
+    /// `il` amperes (Eq. 1).
+    pub fn area(&self, il: f64) -> f64 {
+        let n = self.stages as f64;
+        self.k * n * n / ((n + 1.0) * self.vdd - self.vout) * il / self.freq_hz
+    }
+
+    /// Maximum deliverable current for a given area budget (Eq. 1 inverted).
+    pub fn max_current(&self, area: f64) -> f64 {
+        let n = self.stages as f64;
+        area * ((n + 1.0) * self.vdd - self.vout) * self.freq_hz / (self.k * n * n)
+    }
+}
+
+/// Computes a charge pump's area overhead relative to the baseline DIMM's
+/// total local-pump capacity, the metric of Table 3.
+///
+/// `raw_tokens` is the pump's size in *raw* power tokens (usable tokens
+/// divided by the pump's efficiency) and `baseline_dimm_tokens` is the sum
+/// of all local pumps (560 in the baseline). Area is proportional to
+/// current, which is proportional to tokens, so the overhead is their
+/// ratio.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_pcm::charge_pump::area_overhead_percent;
+///
+/// // Table 3: GCP-NE-0.95 needs 66 usable tokens -> 70 raw -> 12.5 %.
+/// let pct = area_overhead_percent(70, 560);
+/// assert!((pct - 12.5).abs() < 1e-9);
+/// // Doubling every local pump costs 100 %.
+/// assert_eq!(area_overhead_percent(560, 560), 100.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `baseline_dimm_tokens` is zero.
+pub fn area_overhead_percent(raw_tokens: u64, baseline_dimm_tokens: u64) -> f64 {
+    assert!(baseline_dimm_tokens > 0, "baseline tokens must be nonzero");
+    raw_tokens as f64 / baseline_dimm_tokens as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pump() -> ChargePump {
+        ChargePump::new(4, 1.0, 1.6, 100.0e6, 1.0).unwrap()
+    }
+
+    #[test]
+    fn area_linear_in_current() {
+        let p = pump();
+        assert!((p.area(0.2) * 3.0 - p.area(0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_and_current_are_inverses() {
+        let p = pump();
+        let a = p.area(0.42);
+        assert!((p.max_current(a) - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_stages_reach_higher_voltage() {
+        assert!(ChargePump::new(1, 1.0, 2.5, 1e8, 1.0).is_err());
+        assert!(ChargePump::new(2, 1.0, 2.5, 1e8, 1.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_physical_parameters() {
+        assert!(ChargePump::new(0, 1.0, 1.6, 1e8, 1.0).is_err());
+        assert!(ChargePump::new(4, -1.0, 1.6, 1e8, 1.0).is_err());
+        assert!(ChargePump::new(4, 1.0, 0.0, 1e8, 1.0).is_err());
+        assert!(ChargePump::new(4, 1.0, 1.6, 0.0, 1.0).is_err());
+        assert!(ChargePump::new(4, 1.0, 1.6, 1e8, 0.0).is_err());
+    }
+
+    #[test]
+    fn table3_overheads() {
+        // Values from Table 3 of the paper.
+        assert!((area_overhead_percent(70, 560) - 12.5).abs() < 1e-9); // NE-0.95
+        assert!((area_overhead_percent(92, 560) - 16.43).abs() < 0.01); // NE-0.70
+        assert!((area_overhead_percent(23, 560) - 4.1).abs() < 0.01); // VIM-0.70
+        assert!((area_overhead_percent(40, 560) - 7.14).abs() < 0.01); // BIM-0.70
+        assert_eq!(area_overhead_percent(1120 - 560, 560), 100.0); // 2xLocal
+    }
+
+    #[test]
+    fn higher_frequency_shrinks_pump() {
+        let slow = ChargePump::new(4, 1.0, 1.6, 50.0e6, 1.0).unwrap();
+        let fast = ChargePump::new(4, 1.0, 1.6, 200.0e6, 1.0).unwrap();
+        assert!(fast.area(0.3) < slow.area(0.3));
+    }
+}

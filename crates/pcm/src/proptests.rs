@@ -1,0 +1,108 @@
+//! Property-based tests for mappings and the line-write state machine.
+
+use proptest::prelude::*;
+
+use crate::cell::MlcLevel;
+use crate::geometry::DimmGeometry;
+use crate::line_write::{ChangeSet, LineWrite};
+use crate::mapping::{CellMapping, CELLS_PER_CHUNK};
+use crate::write_model::IterationSampler;
+use fpb_types::{MlcWriteModel, SimRng};
+
+fn arb_mapping() -> impl Strategy<Value = CellMapping> {
+    prop_oneof![
+        Just(CellMapping::Naive),
+        Just(CellMapping::Vim),
+        Just(CellMapping::Bim),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every mapping is a function onto valid chips, balanced over a full
+    /// chunk, and stable under chunk translation.
+    #[test]
+    fn mapping_properties(mapping in arb_mapping(), cell in 0u32..8192) {
+        let chip = mapping.chip_of(cell, 8);
+        prop_assert!(chip.get() < 8);
+        prop_assert_eq!(chip, mapping.chip_of(cell + CELLS_PER_CHUNK, 8));
+    }
+
+    /// Within one chunk, NE/VIM/BIM are all bijective onto chip-local
+    /// slots: exactly 32 cells per chip.
+    #[test]
+    fn mapping_chunk_balance(mapping in arb_mapping()) {
+        let counts = mapping.distribute(0..CELLS_PER_CHUNK, 8);
+        prop_assert!(counts.iter().all(|&c| c == 32));
+    }
+
+    /// Wear-leveling rotation preserves the change-set size and keeps
+    /// cells in range.
+    #[test]
+    fn rotation_preserves_changes(
+        cells in prop::collection::btree_set(0u32..1024, 1..300),
+        offset in 0u32..1024,
+    ) {
+        let cs: ChangeSet = cells.iter().map(|&c| (c, MlcLevel::L01)).collect();
+        let rotated = cs.rotated(offset, 1024);
+        prop_assert_eq!(rotated.len(), cs.len());
+        prop_assert!(rotated.iter().all(|&(c, _)| c < 1024));
+        // Rotating back restores the original set of cells.
+        let back = rotated.rotated(1024 - offset % 1024, 1024);
+        let mut orig: Vec<u32> = cs.iter().map(|&(c, _)| c).collect();
+        let mut got: Vec<u32> = back.iter().map(|&(c, _)| c).collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(orig, got);
+    }
+
+    /// Truncated writes never do more iterations than untruncated ones,
+    /// and the skipped tail is within the ECC budget.
+    #[test]
+    fn truncation_is_sound(
+        n in 1u32..300,
+        ecc in 1u32..16,
+        seed in 0u64..300,
+    ) {
+        let geom = DimmGeometry::new(8, 1024);
+        let sampler = IterationSampler::new(MlcWriteModel::default());
+        let cs: ChangeSet = (0..n).map(|i| (i * 3 % 1024, MlcLevel::L01)).collect();
+        let mut rng = SimRng::seed_from(seed);
+        let full = LineWrite::new(&cs, &geom, CellMapping::Bim, &sampler, &mut rng, 1);
+        let mut t = full.clone().with_truncation(ecc);
+        let mut steps = 0;
+        while !t.is_complete() {
+            t.advance();
+            steps += 1;
+        }
+        prop_assert!(steps <= full.total_iterations());
+        if t.was_truncated() {
+            prop_assert!(full.unfinished_after(steps) <= ecc);
+        }
+    }
+
+    /// Multi-RESET re-splitting never changes the SET schedule, only the
+    /// RESET phase.
+    #[test]
+    fn resplit_preserves_sets(
+        cells in prop::collection::btree_set(0u32..1024, 1..400),
+        groups in 2u8..5,
+        seed in 0u64..300,
+    ) {
+        let geom = DimmGeometry::new(8, 1024);
+        let sampler = IterationSampler::new(MlcWriteModel::default());
+        let cs: ChangeSet = cells.iter().map(|&c| (c, MlcLevel::L10)).collect();
+        let mut rng = SimRng::seed_from(seed);
+        let base = LineWrite::new(&cs, &geom, CellMapping::Vim, &sampler, &mut rng, 1);
+        let mut split = base.clone();
+        split.resplit_reset(&geom, groups);
+        prop_assert_eq!(split.reset_groups(), groups);
+        prop_assert_eq!(
+            split.total_iterations(),
+            base.total_iterations() + groups as u32 - 1
+        );
+        let sum: u32 = (0..groups).map(|g| split.reset_group_cells(g)).sum();
+        prop_assert_eq!(sum, base.total_changed());
+    }
+}

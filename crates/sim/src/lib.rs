@@ -1,0 +1,46 @@
+//! Cycle-driven MLC PCM memory-subsystem simulator.
+//!
+//! Ties the substrates together into the paper's evaluation platform
+//! (Figure 1): 8 in-order cores replay workload traces closed-loop through
+//! private DRAM LLCs into a memory controller with read/write queues,
+//! read-first + write-burst scheduling, and an 8-bank / 8-chip MLC PCM
+//! DIMM whose writes are budgeted by an [`fpb_core::PowerManager`].
+//!
+//! * [`request`] — read/write tasks, multi-round splitting of oversized
+//!   writes (§3.2's multi-round fallback).
+//! * [`bank`] — per-bank state machines (reading, write iterations,
+//!   stalls, pauses).
+//! * [`frontend`] — per-core trace replay + LLC.
+//! * [`setup`] — named scheme setups for every figure.
+//! * [`engine`] — the event loop.
+//! * [`metrics`] — CPI, write throughput, burst residency, power stats.
+//!
+//! # Examples
+//!
+//! ```
+//! use fpb_sim::{run_workload, SchemeSetup, SimOptions};
+//! use fpb_trace::catalog;
+//! use fpb_types::SystemConfig;
+//!
+//! let cfg = SystemConfig::default();
+//! let wl = catalog::workload("cop_m").unwrap();
+//! let opts = SimOptions::with_instructions(40_000);
+//! let m = run_workload(&wl, &cfg, &SchemeSetup::ideal(&cfg), &opts);
+//! assert!(m.cycles > 0);
+//! ```
+
+pub mod bank;
+pub mod engine;
+pub mod frontend;
+pub mod metrics;
+pub mod report;
+pub mod request;
+pub mod setup;
+pub mod sweep;
+pub mod timeline;
+
+pub use engine::{run_workload, SimOptions, System};
+pub use metrics::Metrics;
+pub use request::{ReadTask, WriteTask};
+pub use setup::SchemeSetup;
+pub use timeline::Timeline;

@@ -1,0 +1,234 @@
+//! Simulation results.
+
+use fpb_core::PowerStats;
+
+/// Everything one simulation run reports.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::Metrics;
+///
+/// let m = Metrics::default();
+/// assert_eq!(m.cycles, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total elapsed cycles until every core retired its instruction
+    /// budget.
+    pub cycles: u64,
+    /// Instructions retired per core (the run target).
+    pub instructions_per_core: u64,
+    /// Number of cores.
+    pub cores: u8,
+    /// Demand reads serviced by PCM.
+    pub pcm_reads: u64,
+    /// Line writes fully completed (all rounds).
+    pub pcm_writes: u64,
+    /// Write rounds completed (≥ `pcm_writes` when multi-round splits
+    /// occur).
+    pub write_rounds: u64,
+    /// Total cells changed by completed writes.
+    pub cells_written: u64,
+    /// Cycles during which the controller was in write-burst mode.
+    pub burst_cycles: u64,
+    /// Cycles during which at least one write was actively iterating.
+    pub write_active_cycles: u64,
+    /// Sum of per-write queueing delays (arrival to first admission), in
+    /// cycles.
+    pub write_queue_delay: u64,
+    /// Writes cancelled by write cancellation.
+    pub cancellations: u64,
+    /// Writes paused by write pausing.
+    pub pauses: u64,
+    /// Writes ended early by write truncation.
+    pub truncations: u64,
+    /// Sum of PCM read service latencies (queue entry to data return), in
+    /// cycles.
+    pub read_latency_sum: u64,
+    /// Background drift-scrub reads serviced.
+    pub scrub_reads: u64,
+    /// Cells written per chip across completed write rounds (length =
+    /// chip count; empty if no writes completed).
+    pub per_chip_cells: Vec<u64>,
+    /// Power-manager statistics (GCP usage, stalls, Multi-RESET splits).
+    pub power: PowerStats,
+    /// Wear accounting and lifetime projection for the run's writes.
+    pub endurance: Option<fpb_pcm::EnduranceTracker>,
+}
+
+impl Metrics {
+    /// Cycles per instruction of the run (elapsed cycles over the per-core
+    /// instruction budget — every core retires the same budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run retired no instructions.
+    pub fn cpi(&self) -> f64 {
+        assert!(self.instructions_per_core > 0, "empty run has no CPI");
+        self.cycles as f64 / self.instructions_per_core as f64
+    }
+
+    /// Speedup of this run relative to a baseline (`CPI_base / CPI_self`,
+    /// Eq. 7).
+    pub fn speedup_over(&self, baseline: &Metrics) -> f64 {
+        baseline.cpi() / self.cpi()
+    }
+
+    /// Write throughput: completed line writes per kilocycle of
+    /// write-active time. Schemes that overlap writes better finish the
+    /// same write volume in less active time.
+    pub fn write_throughput(&self) -> f64 {
+        if self.write_active_cycles == 0 {
+            0.0
+        } else {
+            self.pcm_writes as f64 * 1000.0 / self.write_active_cycles as f64
+        }
+    }
+
+    /// Fraction of execution time spent in write bursts (Fig. 10).
+    pub fn burst_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.burst_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average cells changed per completed line write (Fig. 2).
+    pub fn avg_cell_changes(&self) -> f64 {
+        if self.pcm_writes == 0 {
+            0.0
+        } else {
+            self.cells_written as f64 / self.pcm_writes as f64
+        }
+    }
+
+    /// Average PCM read service latency in cycles (WC/WP's target metric).
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.pcm_reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.pcm_reads as f64
+        }
+    }
+
+    /// Per-chip write-wear imbalance: max over mean cells written per
+    /// chip (1.0 = perfectly even). Returns 0 when nothing was written.
+    pub fn chip_imbalance(&self) -> f64 {
+        if self.per_chip_cells.is_empty() {
+            return 0.0;
+        }
+        let max = *self.per_chip_cells.iter().max().expect("nonempty") as f64;
+        let mean = self.per_chip_cells.iter().sum::<u64>() as f64
+            / self.per_chip_cells.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Average usable GCP tokens requested per completed line write
+    /// (Fig. 14).
+    pub fn avg_gcp_tokens_per_write(&self) -> f64 {
+        if self.pcm_writes == 0 {
+            0.0
+        } else {
+            self.power.gcp_usable_total().as_f64() / self.pcm_writes as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values (the paper reports
+/// `gmean` across workloads).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::metrics::gmean;
+/// assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a non-positive value.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "gmean of nothing");
+    assert!(xs.iter().all(|&x| x > 0.0), "gmean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_speedup() {
+        let base = Metrics {
+            cycles: 2_000_000,
+            instructions_per_core: 1_000_000,
+            ..Metrics::default()
+        };
+        let fast = Metrics {
+            cycles: 1_000_000,
+            instructions_per_core: 1_000_000,
+            ..Metrics::default()
+        };
+        assert_eq!(base.cpi(), 2.0);
+        assert_eq!(fast.speedup_over(&base), 2.0);
+        assert_eq!(base.speedup_over(&base), 1.0);
+    }
+
+    #[test]
+    fn throughput_counts_active_time_only() {
+        let m = Metrics {
+            pcm_writes: 100,
+            write_active_cycles: 50_000,
+            ..Metrics::default()
+        };
+        assert_eq!(m.write_throughput(), 2.0);
+        assert_eq!(Metrics::default().write_throughput(), 0.0);
+    }
+
+    #[test]
+    fn fractions_and_averages() {
+        let m = Metrics {
+            cycles: 1000,
+            burst_cycles: 520,
+            pcm_writes: 10,
+            cells_written: 2500,
+            ..Metrics::default()
+        };
+        assert!((m.burst_fraction() - 0.52).abs() < 1e-12);
+        assert_eq!(m.avg_cell_changes(), 250.0);
+        assert_eq!(Metrics::default().burst_fraction(), 0.0);
+        assert_eq!(Metrics::default().avg_cell_changes(), 0.0);
+    }
+
+    #[test]
+    fn read_latency_and_imbalance() {
+        let m = Metrics {
+            pcm_reads: 4,
+            read_latency_sum: 4400,
+            per_chip_cells: vec![10, 10, 20, 0],
+            ..Metrics::default()
+        };
+        assert_eq!(m.avg_read_latency(), 1100.0);
+        assert_eq!(m.chip_imbalance(), 2.0);
+        assert_eq!(Metrics::default().avg_read_latency(), 0.0);
+        assert_eq!(Metrics::default().chip_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn gmean_matches_hand_math() {
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gmean of nothing")]
+    fn gmean_empty_panics() {
+        let _ = gmean(&[]);
+    }
+}

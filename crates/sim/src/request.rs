@@ -1,0 +1,250 @@
+//! Memory-controller request records and multi-round write splitting.
+
+use fpb_core::WriteId;
+use fpb_pcm::{ChangeSet, LineWrite};
+use fpb_types::{BankId, Cycles, LineAddr};
+
+/// A queued demand read (an LLC miss fill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadTask {
+    /// Core blocked on this read.
+    pub core: usize,
+    /// Target line.
+    pub line: LineAddr,
+    /// Target bank.
+    pub bank: BankId,
+    /// Cycle the request entered the read queue.
+    pub arrival: Cycles,
+}
+
+/// A queued line write (a dirty LLC eviction), possibly split into
+/// multiple sequential *rounds* (§3.2): when a single write's RESET power
+/// demand exceeds what the DIMM or a chip can ever supply, the line is
+/// written in `k` rounds, each changing a balanced subset of the cells.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_pcm::{CellMapping, ChangeSet, MlcLevel};
+/// use fpb_sim::request::split_rounds;
+///
+/// // 1000 changed cells against a 560-token budget need 2 rounds.
+/// let cs: ChangeSet = (0..1000u32).map(|c| (c, MlcLevel::L00)).collect();
+/// let rounds = split_rounds(&cs, Some(560), None, CellMapping::Bim, 8);
+/// assert_eq!(rounds.len(), 2);
+/// assert_eq!(rounds.iter().map(ChangeSet::len).sum::<usize>(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteTask {
+    /// Identifier (unique per round; round `r` of task `t` gets its own id
+    /// when admitted).
+    pub id: WriteId,
+    /// Target line.
+    pub line: LineAddr,
+    /// Target bank.
+    pub bank: BankId,
+    /// Cycle the request entered the write queue.
+    pub arrival: Cycles,
+    /// Remaining rounds, front first. Always nonempty until completion.
+    pub rounds: Vec<LineWrite>,
+    /// Index of the round currently being (or next to be) written.
+    pub current_round: usize,
+    /// True once the bridge chip's read-before-write comparison has been
+    /// charged (IPM policies pay one array read per line write).
+    pub pre_read_done: bool,
+    /// When the current round was admitted (drives the worst-case hold of
+    /// the feedback-less-controller model).
+    pub round_started_at: Cycles,
+}
+
+impl WriteTask {
+    /// The round currently being written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all rounds are complete.
+    pub fn round(&self) -> &LineWrite {
+        &self.rounds[self.current_round]
+    }
+
+    /// Mutable access to the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all rounds are complete.
+    pub fn round_mut(&mut self) -> &mut LineWrite {
+        &mut self.rounds[self.current_round]
+    }
+
+    /// Advances to the next round. Returns `false` when no rounds remain
+    /// (the task is finished).
+    pub fn next_round(&mut self) -> bool {
+        self.current_round += 1;
+        self.current_round < self.rounds.len()
+    }
+
+    /// Total cells this task changes across all rounds.
+    pub fn total_changed(&self) -> u32 {
+        self.rounds.iter().map(LineWrite::total_changed).sum()
+    }
+}
+
+/// Splits a change set into the minimum number of rounds such that each
+/// round's whole-line demand fits `cap_total` tokens and each round's
+/// per-chip demand (under `mapping`) fits `cap_chip` tokens — the
+/// guarantee the engine relies on for forward progress: every round must
+/// be admissible against an empty token ledger.
+///
+/// Cells are dealt round-robin *per chip*, so each round inherits the
+/// original per-chip balance; the split count grows until both caps hold.
+/// With no caps (the Ideal scheme) the original set is returned as a
+/// single round.
+pub fn split_rounds(
+    changes: &ChangeSet,
+    cap_total: Option<u64>,
+    cap_chip: Option<u64>,
+    mapping: fpb_pcm::CellMapping,
+    chips: u8,
+) -> Vec<ChangeSet> {
+    let n = changes.len() as u64;
+    if n == 0 || (cap_total.is_none() && cap_chip.is_none()) {
+        return vec![changes.clone()];
+    }
+    if let Some(cap) = cap_total {
+        assert!(cap > 0, "total token cap must be nonzero");
+    }
+    if let Some(cap) = cap_chip {
+        assert!(cap > 0, "chip token cap must be nonzero");
+    }
+
+    // Group cells by chip so dealing distributes each chip's cells evenly.
+    let mut by_chip: Vec<Vec<(u32, fpb_pcm::MlcLevel)>> = vec![Vec::new(); chips as usize];
+    for &(cell, level) in changes.iter() {
+        by_chip[mapping.chip_of(cell, chips).index()].push((cell, level));
+    }
+    let max_chip = by_chip.iter().map(Vec::len).max().unwrap_or(0) as u64;
+
+    let mut k = 1u64;
+    if let Some(cap) = cap_total {
+        k = k.max(n.div_ceil(cap));
+    }
+    if let Some(cap) = cap_chip {
+        k = k.max(max_chip.div_ceil(cap));
+    }
+    loop {
+        let rounds = deal(&by_chip, k as usize);
+        let fits = rounds.iter().all(|r| {
+            cap_total.is_none_or(|cap| r.len() as u64 <= cap)
+                && cap_chip.is_none_or(|cap| {
+                    mapping
+                        .distribute(r.iter().map(|&(c, _)| c), chips)
+                        .into_iter()
+                        .all(|c| c as u64 <= cap)
+                })
+        });
+        if fits {
+            return rounds.into_iter().map(ChangeSet::from_cells).collect();
+        }
+        k += 1;
+        assert!(k <= n, "split cannot exceed one cell per round");
+    }
+}
+
+fn deal(by_chip: &[Vec<(u32, fpb_pcm::MlcLevel)>], k: usize) -> Vec<Vec<(u32, fpb_pcm::MlcLevel)>> {
+    let mut rounds: Vec<Vec<(u32, fpb_pcm::MlcLevel)>> = vec![Vec::new(); k];
+    for chip_cells in by_chip {
+        for (j, &cl) in chip_cells.iter().enumerate() {
+            rounds[j % k].push(cl);
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpb_pcm::MlcLevel;
+
+    fn cs(n: u32) -> ChangeSet {
+        (0..n).map(|c| (c, MlcLevel::L01)).collect()
+    }
+
+    use fpb_pcm::CellMapping;
+
+    #[test]
+    fn no_caps_no_split() {
+        let c = cs(2000);
+        let rounds = split_rounds(&c, None, None, CellMapping::Bim, 8);
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0], c);
+    }
+
+    #[test]
+    fn total_cap_splits_evenly() {
+        let c = cs(1024);
+        let rounds = split_rounds(&c, Some(560), None, CellMapping::Bim, 8);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].len(), 512);
+        assert_eq!(rounds[1].len(), 512);
+    }
+
+    #[test]
+    fn fits_exactly_no_split() {
+        let c = cs(560);
+        assert_eq!(split_rounds(&c, Some(560), None, CellMapping::Bim, 8).len(), 1);
+        let c = cs(561);
+        assert_eq!(split_rounds(&c, Some(560), None, CellMapping::Bim, 8).len(), 2);
+    }
+
+    #[test]
+    fn chip_cap_drives_split() {
+        // 120 cells all on chip 0 under VIM (cell % 8 == 0) with a
+        // 66-token chip cap -> 2 rounds even though the total fits the
+        // DIMM budget.
+        let c: ChangeSet = (0..120u32).map(|i| (i * 8, MlcLevel::L01)).collect();
+        let rounds = split_rounds(&c, Some(560), Some(66), CellMapping::Vim, 8);
+        assert_eq!(rounds.len(), 2);
+        for r in &rounds {
+            let per_chip = CellMapping::Vim.distribute(r.iter().map(|&(c, _)| c), 8);
+            assert!(per_chip.iter().all(|&c| c <= 66), "{per_chip:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_partition_cells() {
+        let c = cs(777);
+        let rounds = split_rounds(&c, Some(100), None, CellMapping::Naive, 8);
+        assert_eq!(rounds.len(), 8);
+        let mut all: Vec<u32> = rounds
+            .iter()
+            .flat_map(|r| r.iter().map(|&(c, _)| c))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..777).collect::<Vec<_>>());
+        for r in &rounds {
+            assert!(r.len() <= 100);
+        }
+    }
+
+    #[test]
+    fn every_round_respects_both_caps() {
+        // Adversarial clumping: many cells on two chips.
+        let c: ChangeSet = (0..200u32)
+            .map(|i| (if i % 2 == 0 { i * 8 } else { i * 8 + 1 }, MlcLevel::L10))
+            .collect();
+        let rounds = split_rounds(&c, Some(90), Some(30), CellMapping::Vim, 8);
+        for r in &rounds {
+            assert!(r.len() <= 90);
+            let per_chip = CellMapping::Vim.distribute(r.iter().map(|&(c, _)| c), 8);
+            assert!(per_chip.iter().all(|&n| n <= 30), "{per_chip:?}");
+        }
+        assert_eq!(rounds.iter().map(ChangeSet::len).sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn empty_changes_single_round() {
+        let rounds = split_rounds(&ChangeSet::empty(), Some(560), None, CellMapping::Bim, 8);
+        assert_eq!(rounds.len(), 1);
+        assert!(rounds[0].is_empty());
+    }
+}

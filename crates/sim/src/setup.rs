@@ -1,0 +1,302 @@
+//! Named scheme setups: everything a run varies besides the workload and
+//! the system config.
+
+use fpb_core::{PowerPolicyConfig, SchemeKind};
+use fpb_pcm::CellMapping;
+use fpb_types::SystemConfig;
+
+/// A complete scheme under test: power policy, cell mapping, wear
+/// leveling, queue scheduling window, and the read-latency-reduction
+/// add-ons (§6.4.5).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::SchemeSetup;
+/// use fpb_types::SystemConfig;
+///
+/// let cfg = SystemConfig::default();
+/// let fpb = SchemeSetup::fpb(&cfg);
+/// assert!(fpb.policy.ipm);
+/// assert_eq!(fpb.label, "FPB");
+///
+/// let gcp = SchemeSetup::gcp(&cfg, fpb_pcm::CellMapping::Vim, 0.5);
+/// assert_eq!(gcp.label, "GCP-VIM-0.5");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchemeSetup {
+    /// Legend label.
+    pub label: String,
+    /// Power-budgeting policy.
+    pub policy: PowerPolicyConfig,
+    /// Static cell-to-chip mapping.
+    pub mapping: CellMapping,
+    /// Intra-line wear-leveling shift period (the PWL baseline); `None`
+    /// disables it.
+    pub wear_period: Option<u32>,
+    /// Write cancellation (WC).
+    pub write_cancellation: bool,
+    /// Write pausing (WP).
+    pub write_pausing: bool,
+    /// Write truncation (WT): ECC-correctable cell count, `None` disables.
+    pub truncation_ecc: Option<u32>,
+    /// Charge the bridge chip's read-before-write (IPM's change discovery,
+    /// §3.1).
+    pub pre_write_read: bool,
+    /// PreSET extension (§7, ref. 22 of the paper): SET pulses are performed in advance
+    /// while the line is cached, so the eviction write needs only a single
+    /// RESET iteration — much faster, but demanding full RESET power for
+    /// every changed cell at once.
+    pub preset: bool,
+    /// Feedback-less memory controller (§2.1.1): without the on-DIMM
+    /// bridge chip, the controller must assume every write takes the
+    /// worst-case iteration count — banks and tokens stay held until that
+    /// time even when the write converged early.
+    pub mc_worst_case: bool,
+}
+
+impl SchemeSetup {
+    fn base(label: impl Into<String>, policy: PowerPolicyConfig) -> Self {
+        let pre_write_read = policy.ipm;
+        SchemeSetup {
+            label: label.into(),
+            policy,
+            mapping: CellMapping::Naive,
+            wear_period: None,
+            write_cancellation: false,
+            write_pausing: false,
+            truncation_ecc: None,
+            pre_write_read,
+            preset: false,
+            mc_worst_case: false,
+        }
+    }
+
+    /// Unlimited power (the Fig. 4 normalization ceiling).
+    pub fn ideal(cfg: &SystemConfig) -> Self {
+        Self::base("Ideal", SchemeKind::Ideal.config(&cfg.power, cfg.pcm.chips))
+    }
+
+    /// Hay et al. with only the DIMM budget.
+    pub fn dimm_only(cfg: &SystemConfig) -> Self {
+        Self::base(
+            "DIMM-only",
+            SchemeKind::DimmOnly.config(&cfg.power, cfg.pcm.chips),
+        )
+    }
+
+    /// Hay et al. with DIMM and chip budgets (the paper's baseline).
+    pub fn dimm_chip(cfg: &SystemConfig) -> Self {
+        Self::base(
+            "DIMM+chip",
+            SchemeKind::DimmChip.config(&cfg.power, cfg.pcm.chips),
+        )
+    }
+
+    /// `DIMM+chip` plus near-perfect intra-line wear leveling (PWL, §2.2).
+    pub fn pwl(cfg: &SystemConfig) -> Self {
+        SchemeSetup {
+            label: "PWL".into(),
+            wear_period: Some(8),
+            ..Self::dimm_chip(cfg)
+        }
+    }
+
+    /// `DIMM+chip` with the chip budget scaled by `scale` (1.5 or 2.0).
+    pub fn scaled_local(cfg: &SystemConfig, scale: f64) -> Self {
+        let mut policy = SchemeKind::DimmChip.config(&cfg.power, cfg.pcm.chips);
+        policy.chip_budget_scale = scale;
+        Self::base(format!("{scale}xlocal"), policy)
+    }
+
+    /// FPB-GCP with a given cell mapping and GCP efficiency (no IPM).
+    pub fn gcp(cfg: &SystemConfig, mapping: CellMapping, e_gcp: f64) -> Self {
+        let mut policy = SchemeKind::Gcp.config(&cfg.power, cfg.pcm.chips);
+        if let Some(g) = policy.gcp.as_mut() {
+            g.e_gcp = e_gcp;
+        }
+        SchemeSetup {
+            mapping,
+            ..Self::base(format!("GCP-{}-{}", mapping.label(), e_gcp), policy)
+        }
+    }
+
+    /// FPB-GCP + FPB-IPM (default BIM at the config's `E_GCP`).
+    pub fn gcp_ipm(cfg: &SystemConfig) -> Self {
+        let policy = SchemeKind::GcpIpm.config(&cfg.power, cfg.pcm.chips);
+        SchemeSetup {
+            mapping: CellMapping::Bim,
+            ..Self::base("GCP+IPM", policy)
+        }
+    }
+
+    /// The full FPB scheme: GCP (BIM) + IPM + Multi-RESET(3).
+    pub fn fpb(cfg: &SystemConfig) -> Self {
+        let policy = SchemeKind::Fpb.config(&cfg.power, cfg.pcm.chips);
+        SchemeSetup {
+            mapping: CellMapping::Bim,
+            ..Self::base("FPB", policy)
+        }
+    }
+
+    /// FPB with a custom Multi-RESET split limit (Fig. 17).
+    pub fn fpb_with_splits(cfg: &SystemConfig, splits: u8) -> Self {
+        let mut s = Self::fpb(cfg);
+        s.policy.multi_reset_splits = splits;
+        s.label = format!("IPM+MR{splits}");
+        s
+    }
+
+    /// Adds write cancellation.
+    #[must_use]
+    pub fn with_wc(mut self) -> Self {
+        self.write_cancellation = true;
+        self.label.push_str("+WC");
+        self
+    }
+
+    /// Adds write pausing.
+    #[must_use]
+    pub fn with_wp(mut self) -> Self {
+        self.write_pausing = true;
+        self.label.push_str("+WP");
+        self
+    }
+
+    /// Adds write truncation with `ecc` correctable cells per line.
+    #[must_use]
+    pub fn with_wt(mut self, ecc: u32) -> Self {
+        self.truncation_ecc = Some(ecc);
+        self.label.push_str("+WT");
+        self
+    }
+
+    /// Overrides the cell mapping.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: CellMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Enables the PreSET write mode (§7): single-RESET writes.
+    #[must_use]
+    pub fn with_preset(mut self) -> Self {
+        self.preset = true;
+        self.label.push_str("+PreSET");
+        self
+    }
+
+    /// Models a feedback-less controller that assumes worst-case write
+    /// latency (the design §2.1.1 argues against).
+    #[must_use]
+    pub fn with_worst_case_mc(mut self) -> Self {
+        self.mc_worst_case = true;
+        self.label.push_str("+worstcaseMC");
+        self
+    }
+
+    /// Enables per-chip GCP output regulation (§4.2's design alternative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme has no GCP.
+    #[must_use]
+    pub fn with_gcp_regulation(mut self) -> Self {
+        let g = self
+            .policy
+            .gcp
+            .as_mut()
+            .expect("per-chip regulation needs a GCP");
+        g.per_chip_regulation = true;
+        self.label.push_str("+reg");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        let c = cfg();
+        assert_eq!(SchemeSetup::ideal(&c).label, "Ideal");
+        assert_eq!(SchemeSetup::dimm_only(&c).label, "DIMM-only");
+        assert_eq!(SchemeSetup::dimm_chip(&c).label, "DIMM+chip");
+        assert_eq!(SchemeSetup::scaled_local(&c, 2.0).label, "2xlocal");
+        assert_eq!(
+            SchemeSetup::gcp(&c, CellMapping::Naive, 0.95).label,
+            "GCP-NE-0.95"
+        );
+        assert_eq!(SchemeSetup::fpb_with_splits(&c, 4).label, "IPM+MR4");
+        assert_eq!(
+            SchemeSetup::fpb(&c).with_wc().with_wp().with_wt(8).label,
+            "FPB+WC+WP+WT"
+        );
+    }
+
+    #[test]
+    fn pre_read_tracks_ipm() {
+        let c = cfg();
+        assert!(!SchemeSetup::dimm_chip(&c).pre_write_read);
+        assert!(!SchemeSetup::gcp(&c, CellMapping::Bim, 0.7).pre_write_read);
+        assert!(SchemeSetup::gcp_ipm(&c).pre_write_read);
+        assert!(SchemeSetup::fpb(&c).pre_write_read);
+    }
+
+    #[test]
+    fn gcp_efficiency_propagates() {
+        let c = cfg();
+        let s = SchemeSetup::gcp(&c, CellMapping::Vim, 0.5);
+        assert_eq!(s.policy.gcp.unwrap().e_gcp, 0.5);
+        assert_eq!(s.mapping, CellMapping::Vim);
+    }
+
+    #[test]
+    fn pwl_enables_wear_leveling_only() {
+        let c = cfg();
+        let s = SchemeSetup::pwl(&c);
+        assert_eq!(s.wear_period, Some(8));
+        assert!(s.policy.enforce_chip_budget);
+        assert!(!s.policy.ipm);
+    }
+
+    #[test]
+    fn preset_and_regulation_toggles() {
+        let c = cfg();
+        let s = SchemeSetup::fpb(&c).with_preset();
+        assert!(s.preset);
+        assert!(s.label.ends_with("+PreSET"));
+        let s = SchemeSetup::fpb(&c).with_gcp_regulation();
+        assert!(s.policy.gcp.unwrap().per_chip_regulation);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a GCP")]
+    fn regulation_without_gcp_panics() {
+        let c = cfg();
+        let _ = SchemeSetup::dimm_chip(&c).with_gcp_regulation();
+    }
+
+    #[test]
+    fn all_setups_validate() {
+        let c = cfg();
+        for s in [
+            SchemeSetup::ideal(&c),
+            SchemeSetup::dimm_only(&c),
+            SchemeSetup::dimm_chip(&c),
+            SchemeSetup::pwl(&c),
+            SchemeSetup::scaled_local(&c, 1.5),
+            SchemeSetup::gcp(&c, CellMapping::Bim, 0.7),
+            SchemeSetup::gcp_ipm(&c),
+            SchemeSetup::fpb(&c),
+            SchemeSetup::fpb(&c).with_wc().with_wp().with_wt(8),
+        ] {
+            s.policy.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Parameter-sweep driver: run a grid of configurations over a workload
+//! and collect labeled metrics, warming each workload/config pair once.
+//!
+//! This is the machinery behind the §6.4 design-space exploration and the
+//! CLI's `sweep` subcommand; downstream users point it at their own
+//! workloads.
+
+use fpb_types::SystemConfig;
+
+use crate::engine::{run_workload_warmed, warm_cores, SimOptions};
+use crate::metrics::Metrics;
+use crate::setup::SchemeSetup;
+use fpb_trace::Workload;
+
+/// One axis of a sweep: a label and a configuration transformer.
+pub struct Axis {
+    /// Axis name (becomes part of each point's label).
+    pub name: &'static str,
+    /// Labeled configuration variants.
+    pub variants: Vec<(String, Box<dyn Fn(SystemConfig) -> SystemConfig>)>,
+}
+
+impl std::fmt::Debug for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Axis")
+            .field("name", &self.name)
+            .field("variants", &self.variants.len())
+            .finish()
+    }
+}
+
+impl Axis {
+    /// Line-size axis (Fig. 19's values by default).
+    pub fn line_bytes(values: &[u32]) -> Axis {
+        Axis {
+            name: "line",
+            variants: values
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                        Box::new(move |c: SystemConfig| c.with_line_bytes(v));
+                    (format!("{v}B"), f)
+                })
+                .collect(),
+        }
+    }
+
+    /// LLC-capacity axis (Fig. 20).
+    pub fn llc_mib(values: &[u32]) -> Axis {
+        Axis {
+            name: "llc",
+            variants: values
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                        Box::new(move |c: SystemConfig| c.with_llc_mib(v));
+                    (format!("{v}M"), f)
+                })
+                .collect(),
+        }
+    }
+
+    /// DIMM-token axis (Fig. 22).
+    pub fn pt_dimm(values: &[u64]) -> Axis {
+        Axis {
+            name: "pt",
+            variants: values
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                        Box::new(move |c: SystemConfig| c.with_pt_dimm(v));
+                    (format!("{v}t"), f)
+                })
+                .collect(),
+        }
+    }
+
+    /// GCP-efficiency axis (Figs. 11/15/16).
+    pub fn e_gcp(values: &[f64]) -> Axis {
+        Axis {
+            name: "egcp",
+            variants: values
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                        Box::new(move |c: SystemConfig| c.with_gcp_efficiency(v));
+                    (format!("{v}"), f)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One sweep result point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// `axis=variant` labels joined with `,`, plus the scheme label.
+    pub label: String,
+    /// Metrics of the scheme under this configuration.
+    pub metrics: Metrics,
+    /// Metrics of the baseline scheme under the same configuration.
+    pub baseline: Metrics,
+}
+
+impl SweepPoint {
+    /// Speedup of the scheme over the baseline at this point (Eq. 7).
+    pub fn speedup(&self) -> f64 {
+        self.metrics.speedup_over(&self.baseline)
+    }
+}
+
+/// Runs the cartesian product of `axes` over `workload`, measuring
+/// `scheme` against `baseline` (both rebuilt per configuration so
+/// budget-derived fields track the swept config).
+///
+/// # Panics
+///
+/// Panics if `axes` is empty or any produced configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::sweep::{run_sweep, Axis};
+/// use fpb_sim::{SchemeSetup, SimOptions};
+/// use fpb_trace::catalog;
+/// use fpb_types::SystemConfig;
+///
+/// let wl = catalog::workload("cop_m").unwrap();
+/// let points = run_sweep(
+///     &wl,
+///     SystemConfig::default(),
+///     &[Axis::pt_dimm(&[466, 560])],
+///     SchemeSetup::fpb,
+///     SchemeSetup::dimm_chip,
+///     &SimOptions::with_instructions(20_000),
+/// );
+/// assert_eq!(points.len(), 2);
+/// assert!(points[0].label.contains("pt=466t"));
+/// ```
+pub fn run_sweep(
+    workload: &Workload,
+    base_cfg: SystemConfig,
+    axes: &[Axis],
+    scheme: fn(&SystemConfig) -> SchemeSetup,
+    baseline: fn(&SystemConfig) -> SchemeSetup,
+    opts: &SimOptions,
+) -> Vec<SweepPoint> {
+    assert!(!axes.is_empty(), "sweep needs at least one axis");
+    let mut points = Vec::new();
+    let mut index = vec![0usize; axes.len()];
+    'grid: loop {
+        // Build this point's config and label.
+        let mut cfg = base_cfg.clone();
+        let mut parts = Vec::new();
+        for (a, &i) in axes.iter().zip(&index) {
+            let (name, f) = &a.variants[i];
+            cfg = f(cfg);
+            parts.push(format!("{}={}", a.name, name));
+        }
+        cfg.validate().expect("swept config invalid");
+        let cores = warm_cores(workload, &cfg, opts);
+        let base = run_workload_warmed(workload, &cfg, &baseline(&cfg), opts, &cores);
+        let m = run_workload_warmed(workload, &cfg, &scheme(&cfg), opts, &cores);
+        points.push(SweepPoint {
+            label: format!("{} [{}]", parts.join(","), scheme(&cfg).label),
+            metrics: m,
+            baseline: base,
+        });
+
+        // Odometer increment.
+        for d in (0..axes.len()).rev() {
+            index[d] += 1;
+            if index[d] < axes[d].variants.len() {
+                continue 'grid;
+            }
+            index[d] = 0;
+            if d == 0 {
+                break 'grid;
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpb_trace::catalog;
+
+    fn opts() -> SimOptions {
+        SimOptions::with_instructions(15_000)
+    }
+
+    #[test]
+    fn cartesian_product_order_and_size() {
+        let wl = catalog::workload("cop_m").expect("workload");
+        let points = run_sweep(
+            &wl,
+            SystemConfig::default(),
+            &[
+                Axis::pt_dimm(&[466, 560]),
+                Axis::e_gcp(&[0.7, 0.5]),
+            ],
+            SchemeSetup::fpb,
+            SchemeSetup::dimm_chip,
+            &opts(),
+        );
+        assert_eq!(points.len(), 4);
+        assert!(points[0].label.starts_with("pt=466t,egcp=0.7"));
+        assert!(points[3].label.starts_with("pt=560t,egcp=0.5"));
+        for p in &points {
+            assert!(p.speedup() > 0.0);
+            assert!(p.label.contains("[FPB]"));
+        }
+    }
+
+    #[test]
+    fn axes_apply_their_configs() {
+        let wl = catalog::workload("xal_m").expect("workload");
+        let points = run_sweep(
+            &wl,
+            SystemConfig::default(),
+            &[Axis::line_bytes(&[64, 256])],
+            SchemeSetup::ideal,
+            SchemeSetup::ideal,
+            &opts(),
+        );
+        assert_eq!(points.len(), 2);
+        // Identical scheme and baseline: speedup exactly 1.
+        for p in &points {
+            assert!((p.speedup() - 1.0).abs() < 1e-12, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn llc_axis_changes_traffic() {
+        let wl = catalog::workload("ast_m").expect("workload");
+        let points = run_sweep(
+            &wl,
+            SystemConfig::default(),
+            &[Axis::llc_mib(&[4, 32])],
+            SchemeSetup::dimm_chip,
+            SchemeSetup::dimm_chip,
+            &opts(),
+        );
+        // A tiny LLC must produce more PCM reads than the baseline 32 M.
+        assert!(
+            points[0].metrics.pcm_reads > points[1].metrics.pcm_reads,
+            "4M {} vs 32M {}",
+            points[0].metrics.pcm_reads,
+            points[1].metrics.pcm_reads
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one axis")]
+    fn empty_axes_panic() {
+        let wl = catalog::workload("cop_m").expect("workload");
+        let _ = run_sweep(
+            &wl,
+            SystemConfig::default(),
+            &[],
+            SchemeSetup::fpb,
+            SchemeSetup::dimm_chip,
+            &opts(),
+        );
+    }
+}

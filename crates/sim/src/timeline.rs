@@ -1,0 +1,227 @@
+//! Bank-activity timelines: sample a stepped simulation and render an
+//! ASCII Gantt view of what the DIMM was doing.
+//!
+//! Built on [`crate::System::step`]: the recorder drives the simulation
+//! itself and snapshots queue depths, burst mode and per-bank write
+//! occupancy at every event, then renders a fixed-width strip per bank —
+//! the fastest way to *see* write bursts serializing reads, or FPB
+//! overlapping writes that the baseline runs back to back.
+
+use fpb_types::Cycles;
+
+use crate::engine::System;
+use crate::metrics::Metrics;
+
+/// One sampled instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Simulation time of the sample.
+    pub at: Cycles,
+    /// Per-bank: does the bank hold a write (in any state)?
+    pub bank_writes: Vec<bool>,
+    /// Controller in write-burst mode?
+    pub burst: bool,
+    /// Write-queue depth.
+    pub wrq: usize,
+    /// Read-queue depth.
+    pub rdq: usize,
+}
+
+/// A recorded run: every event-round snapshot plus the final metrics.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    samples: Vec<Sample>,
+    metrics: Metrics,
+}
+
+impl Timeline {
+    /// Runs `system` to completion, sampling at every event round.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fpb_sim::timeline::Timeline;
+    /// use fpb_sim::{SchemeSetup, SimOptions, System};
+    /// use fpb_trace::catalog;
+    /// use fpb_types::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::default();
+    /// let wl = catalog::workload("cop_m").unwrap();
+    /// let sys = System::new(&wl, &cfg, &SchemeSetup::fpb(&cfg),
+    ///                       &SimOptions::with_instructions(20_000));
+    /// let tl = Timeline::record(sys);
+    /// assert!(!tl.samples().is_empty());
+    /// assert!(tl.metrics().cycles > 0);
+    /// ```
+    pub fn record(mut system: System) -> Timeline {
+        let mut samples = Vec::new();
+        loop {
+            samples.push(Sample {
+                at: system.now(),
+                bank_writes: system.banks_with_writes(),
+                burst: system.in_burst(),
+                wrq: system.write_queue_len(),
+                rdq: system.read_queue_len(),
+            });
+            if !system.step() {
+                break;
+            }
+        }
+        Timeline {
+            samples,
+            metrics: system.finish(),
+        }
+    }
+
+    /// The recorded samples, in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The run's final metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Fraction of samples during which `bank` held a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range or nothing was recorded.
+    pub fn bank_write_occupancy(&self, bank: usize) -> f64 {
+        assert!(!self.samples.is_empty(), "empty timeline");
+        let hits = self
+            .samples
+            .iter()
+            .filter(|s| s.bank_writes[bank])
+            .count();
+        hits as f64 / self.samples.len() as f64
+    }
+
+    /// Renders an ASCII strip chart: one row per bank (`#` = write
+    /// resident, `.` = not), plus a burst row (`B`/`.`), `width` columns
+    /// spanning the run (each column aggregates a time slice by majority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or nothing was recorded.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "width must be nonzero");
+        assert!(!self.samples.is_empty(), "empty timeline");
+        let banks = self.samples[0].bank_writes.len();
+        let end = self.samples.last().expect("nonempty").at.get().max(1);
+        let mut out = String::new();
+
+        // Bucket samples by time slice.
+        let mut buckets: Vec<Vec<&Sample>> = vec![Vec::new(); width];
+        for s in &self.samples {
+            let col = ((s.at.get() as u128 * width as u128) / (end as u128 + 1)) as usize;
+            buckets[col.min(width - 1)].push(s);
+        }
+
+        for bank in 0..banks {
+            out.push_str(&format!("bank{bank} "));
+            for b in &buckets {
+                let (mut on, mut n) = (0usize, 0usize);
+                for s in b {
+                    n += 1;
+                    on += s.bank_writes[bank] as usize;
+                }
+                out.push(if n == 0 {
+                    ' '
+                } else if on * 2 >= n {
+                    '#'
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out.push_str("burst ");
+        for b in &buckets {
+            let (mut on, mut n) = (0usize, 0usize);
+            for s in b {
+                n += 1;
+                on += s.burst as usize;
+            }
+            out.push(if n == 0 {
+                ' '
+            } else if on * 2 >= n {
+                'B'
+            } else {
+                '.'
+            });
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::SchemeSetup;
+    use crate::SimOptions;
+    use fpb_trace::catalog;
+    use fpb_types::SystemConfig;
+
+    fn recorded(scheme: fn(&SystemConfig) -> SchemeSetup) -> Timeline {
+        let cfg = SystemConfig::default();
+        let wl = catalog::workload("lbm_m").expect("workload");
+        let sys = System::new(
+            &wl,
+            &cfg,
+            &scheme(&cfg),
+            &SimOptions::with_instructions(40_000),
+        );
+        Timeline::record(sys)
+    }
+
+    #[test]
+    fn recording_matches_plain_run() {
+        let cfg = SystemConfig::default();
+        let wl = catalog::workload("lbm_m").expect("workload");
+        let opts = SimOptions::with_instructions(40_000);
+        let plain = crate::run_workload(&wl, &cfg, &SchemeSetup::fpb(&cfg), &opts);
+        let tl = recorded(SchemeSetup::fpb);
+        assert_eq!(tl.metrics().cycles, plain.cycles, "stepping must not change results");
+        assert_eq!(tl.metrics().pcm_writes, plain.pcm_writes);
+    }
+
+    #[test]
+    fn samples_are_time_ordered() {
+        let tl = recorded(SchemeSetup::dimm_chip);
+        let mut last = Cycles::ZERO;
+        for s in tl.samples() {
+            assert!(s.at >= last);
+            last = s.at;
+        }
+    }
+
+    #[test]
+    fn write_heavy_run_occupies_banks() {
+        let tl = recorded(SchemeSetup::dimm_chip);
+        let any: f64 = (0..8).map(|b| tl.bank_write_occupancy(b)).sum();
+        assert!(any > 0.1, "some bank must carry writes: {any}");
+    }
+
+    #[test]
+    fn render_shape_is_stable() {
+        let tl = recorded(SchemeSetup::fpb);
+        let chart = tl.render(60);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 9, "8 banks + burst row");
+        assert!(lines[0].starts_with("bank0 "));
+        assert!(lines[8].starts_with("burst "));
+        for l in &lines {
+            assert_eq!(l.len(), 6 + 60, "fixed width: {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be nonzero")]
+    fn zero_width_panics() {
+        let tl = recorded(SchemeSetup::fpb);
+        let _ = tl.render(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Trace records.
+
+/// One memory operation emitted by a core's trace generator.
+///
+/// Operations are *gap based*: `gap_instructions` is the number of
+/// instructions the core executes (1 per cycle, in-order) between the
+/// completion of its previous blocking operation and the issue of this one.
+/// This lets the memory-subsystem simulator replay the trace closed-loop —
+/// memory latency feeds back into issue times exactly as in the paper's
+/// trace-driven methodology.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_trace::TraceOp;
+///
+/// let op = TraceOp { gap_instructions: 120, addr: 0x4_0000, is_write: false };
+/// assert!(!op.is_write);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Instructions executed since the previous operation completed.
+    pub gap_instructions: u64,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// True for a store, false for a load.
+    pub is_write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_plain_data() {
+        let op = TraceOp {
+            gap_instructions: 1,
+            addr: 2,
+            is_write: true,
+        };
+        let copy = op;
+        assert_eq!(op, copy);
+        assert!(format!("{op:?}").contains("TraceOp"));
+    }
+}

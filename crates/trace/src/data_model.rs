@@ -1,0 +1,336 @@
+//! Per-write data-change modeling.
+//!
+//! FPB's behaviour depends critically on *which cells change* when a dirty
+//! line is written back: the count drives token demand (Fig. 2) and the
+//! positions drive per-chip imbalance (what VIM/BIM fix, §4.3). This module
+//! generates bit-level change patterns per workload class:
+//!
+//! * **Integer** — low-order bits of 32-bit words flip with exponentially
+//!   decaying probability toward the MSB (§2.2, ref. 31 of the paper).
+//! * **Float** — values change as whole words; mantissa bits flip densely,
+//!   exponent/sign rarely, and words change in aligned (double) pairs.
+//! * **Streaming** — fresh data overwrites the line: dense, uniform flips.
+//! * **Pointer** — like integer but sparser words and shallower decay.
+
+use fpb_pcm::{ChangeSet, MlcLevel};
+use fpb_types::SimRng;
+
+/// Broad class of data a benchmark writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataClass {
+    /// Integer-dominated updates (counters, indices).
+    Integer,
+    /// Floating-point array updates.
+    Float,
+    /// Bulk streaming overwrite (STREAM kernels, copies).
+    Streaming,
+    /// Pointer-chasing structures (sparse word updates).
+    Pointer,
+}
+
+/// The data-change model of one workload.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_trace::{DataClass, DataProfile};
+/// use fpb_types::SimRng;
+///
+/// let p = DataProfile::new(DataClass::Integer, 0.5);
+/// let mut rng = SimRng::seed_from(1);
+/// let cs = p.sample_change_set(256, &mut rng);
+/// assert!(cs.len() > 0);
+/// assert!(cs.iter().all(|&(c, _)| c < 1024));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataProfile {
+    class: DataClass,
+    word_change_prob: f64,
+    level_weights: [f64; 4],
+}
+
+impl DataProfile {
+    /// Creates a profile; `word_change_prob` is the probability that any
+    /// given 32-bit word of a dirty line was modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_change_prob` is not in `[0, 1]`.
+    pub fn new(class: DataClass, word_change_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&word_change_prob),
+            "word_change_prob must be in [0, 1]"
+        );
+        DataProfile {
+            class,
+            word_change_prob,
+            level_weights: [0.25; 4],
+        }
+    }
+
+    /// Overrides the target-level distribution for changed cells
+    /// (`[P(00), P(01), P(10), P(11)]`, normalized internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any is negative.
+    #[must_use]
+    pub fn with_level_weights(mut self, weights: [f64; 4]) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
+            "level weights must be nonnegative and not all zero"
+        );
+        self.level_weights = weights;
+        self
+    }
+
+    /// The workload class.
+    pub fn class(&self) -> DataClass {
+        self.class
+    }
+
+    /// Probability a bit at position `bit` (0 = LSB) of a *changed* word
+    /// flips.
+    fn bit_flip_prob(&self, bit: u32) -> f64 {
+        match self.class {
+            // Flatter decay than a pure LSB ramp: integer updates touch
+            // roughly the low half-word, so the changed cells cover all
+            // eight within-word positions the interleaved mappings use.
+            DataClass::Integer => 0.85 * (-(bit as f64) / 8.0).exp(),
+            DataClass::Pointer => 0.8 * (-(bit as f64) / 4.0).exp(),
+            DataClass::Float => {
+                if bit < 23 {
+                    // Mantissa: dense changes, denser at the low end.
+                    0.55 * (-(bit as f64) / 40.0).exp()
+                } else if bit < 31 {
+                    0.08 // exponent
+                } else {
+                    0.03 // sign
+                }
+            }
+            DataClass::Streaming => 0.5,
+        }
+    }
+
+    /// Samples the byte-for-byte changed bit positions of one dirty line.
+    ///
+    /// Bit `g` covers bit `g % 32` (0 = LSB) of 32-bit word `g / 32`.
+    pub fn sample_changed_bits(&self, line_bytes: u32, rng: &mut SimRng) -> Vec<u32> {
+        let words = line_bytes / 4;
+        let mut bits = Vec::new();
+        let mut w = 0u32;
+        while w < words {
+            let (changed, span) = match self.class {
+                // Doubles: words change in aligned pairs.
+                DataClass::Float => (rng.bernoulli(self.word_change_prob), 2.min(words - w)),
+                _ => (rng.bernoulli(self.word_change_prob), 1),
+            };
+            if changed {
+                for dw in 0..span {
+                    for b in 0..32u32 {
+                        if rng.bernoulli(self.bit_flip_prob(b)) {
+                            bits.push((w + dw) * 32 + b);
+                        }
+                    }
+                }
+            }
+            w += span;
+        }
+        bits
+    }
+
+    /// Samples the MLC change set of one dirty line write: the changed
+    /// 2-bit cells with their new target levels.
+    ///
+    /// Cell `k` of word `w` (cells are MSB-first within a word, so cell 15
+    /// holds the two LSBs) is global cell `w * 16 + k`; it changes if
+    /// either of its bits flips.
+    pub fn sample_change_set(&self, line_bytes: u32, rng: &mut SimRng) -> ChangeSet {
+        let bits = self.sample_changed_bits(line_bytes, rng);
+        let mut cells: Vec<u32> = bits.iter().map(|&g| Self::cell_of_bit(g)).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+            .into_iter()
+            .map(|c| (c, self.sample_level(rng)))
+            .collect()
+    }
+
+    /// Counts changed cells for both MLC (2-bit cells) and SLC (1-bit
+    /// cells) interpretations of the same bit-change pattern (Fig. 2).
+    pub fn count_changes(&self, line_bytes: u32, rng: &mut SimRng) -> (u32, u32) {
+        let bits = self.sample_changed_bits(line_bytes, rng);
+        let slc = bits.len() as u32;
+        let mut cells: Vec<u32> = bits.into_iter().map(Self::cell_of_bit).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        (cells.len() as u32, slc)
+    }
+
+    /// Maps a global bit position to its global MLC cell index.
+    fn cell_of_bit(g: u32) -> u32 {
+        let word = g / 32;
+        let bit = g % 32;
+        // Cell 0 covers bits 31..30 (MSB), cell 15 covers bits 1..0 (LSB).
+        word * 16 + (31 - bit) / 2
+    }
+
+    fn sample_level(&self, rng: &mut SimRng) -> MlcLevel {
+        let total: f64 = self.level_weights.iter().sum();
+        let mut x = rng.f64() * total;
+        for (i, &w) in self.level_weights.iter().enumerate() {
+            if x < w {
+                return MlcLevel::from_bits(i as u8);
+            }
+            x -= w;
+        }
+        MlcLevel::L11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_changes(p: &DataProfile, n: usize, line: u32, seed: u64) -> (f64, f64) {
+        let mut rng = SimRng::seed_from(seed);
+        let (mut mlc, mut slc) = (0u64, 0u64);
+        for _ in 0..n {
+            let (m, s) = p.count_changes(line, &mut rng);
+            mlc += m as u64;
+            slc += s as u64;
+        }
+        (mlc as f64 / n as f64, slc as f64 / n as f64)
+    }
+
+    #[test]
+    fn slc_changes_exceed_mlc_changes() {
+        // Fig. 2: 2-bit MLC changes fewer cells than SLC for the same data.
+        for class in [
+            DataClass::Integer,
+            DataClass::Float,
+            DataClass::Streaming,
+            DataClass::Pointer,
+        ] {
+            let p = DataProfile::new(class, 0.5);
+            let (mlc, slc) = mean_changes(&p, 300, 256, 42);
+            assert!(slc > mlc, "{class:?}: slc {slc} <= mlc {mlc}");
+        }
+    }
+
+    #[test]
+    fn larger_lines_change_more_cells() {
+        // Fig. 2: cell changes grow with line size.
+        let p = DataProfile::new(DataClass::Integer, 0.5);
+        let (m64, _) = mean_changes(&p, 300, 64, 1);
+        let (m128, _) = mean_changes(&p, 300, 128, 2);
+        let (m256, _) = mean_changes(&p, 300, 256, 3);
+        assert!(m64 < m128 && m128 < m256, "{m64} {m128} {m256}");
+    }
+
+    #[test]
+    fn integer_changes_skew_to_low_order_cells() {
+        let p = DataProfile::new(DataClass::Integer, 1.0);
+        let mut rng = SimRng::seed_from(7);
+        let mut low = 0u64;
+        let mut high = 0u64;
+        for _ in 0..200 {
+            for &(cell, _) in p.sample_change_set(64, &mut rng).iter() {
+                // Within-word position: cells 8..16 hold the low-order bits.
+                if cell % 16 >= 8 {
+                    low += 1;
+                } else {
+                    high += 1;
+                }
+            }
+        }
+        assert!(
+            low as f64 > 2.0 * high as f64,
+            "low {low} vs high {high}: integer data must skew low-order"
+        );
+    }
+
+    #[test]
+    fn float_changes_cluster_in_mantissa() {
+        let p = DataProfile::new(DataClass::Float, 1.0);
+        let mut rng = SimRng::seed_from(8);
+        let mut sign_exp = 0u64;
+        let mut mantissa = 0u64;
+        for _ in 0..200 {
+            for &b in &p.sample_changed_bits(64, &mut rng) {
+                if b % 32 >= 23 {
+                    sign_exp += 1;
+                } else {
+                    mantissa += 1;
+                }
+            }
+        }
+        assert!(mantissa > 10 * sign_exp, "mantissa {mantissa}, se {sign_exp}");
+    }
+
+    #[test]
+    fn word_change_prob_scales_volume() {
+        let sparse = DataProfile::new(DataClass::Integer, 0.1);
+        let dense = DataProfile::new(DataClass::Integer, 0.9);
+        let (ms, _) = mean_changes(&sparse, 200, 256, 9);
+        let (md, _) = mean_changes(&dense, 200, 256, 10);
+        assert!(md > 5.0 * ms, "dense {md} vs sparse {ms}");
+    }
+
+    #[test]
+    fn change_set_cells_unique_and_bounded() {
+        let p = DataProfile::new(DataClass::Streaming, 0.8);
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..50 {
+            let cs = p.sample_change_set(256, &mut rng);
+            let mut cells: Vec<u32> = cs.iter().map(|&(c, _)| c).collect();
+            let n = cells.len();
+            cells.sort_unstable();
+            cells.dedup();
+            assert_eq!(cells.len(), n, "duplicate cells in change set");
+            assert!(cells.iter().all(|&c| c < 1024));
+        }
+    }
+
+    #[test]
+    fn cell_of_bit_msb_first() {
+        assert_eq!(DataProfile::cell_of_bit(31), 0); // MSB of word 0 -> cell 0
+        assert_eq!(DataProfile::cell_of_bit(0), 15); // LSB of word 0 -> cell 15
+        assert_eq!(DataProfile::cell_of_bit(32 + 31), 16); // MSB of word 1
+        assert_eq!(DataProfile::cell_of_bit(32), 31); // LSB of word 1
+    }
+
+    #[test]
+    fn level_weights_respected() {
+        let p = DataProfile::new(DataClass::Streaming, 1.0)
+            .with_level_weights([0.0, 0.0, 0.0, 1.0]);
+        let mut rng = SimRng::seed_from(12);
+        let cs = p.sample_change_set(256, &mut rng);
+        assert!(cs.iter().all(|&(_, l)| l == MlcLevel::L11));
+    }
+
+    #[test]
+    #[should_panic(expected = "word_change_prob")]
+    fn invalid_prob_panics() {
+        let _ = DataProfile::new(DataClass::Integer, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "level weights")]
+    fn invalid_weights_panic() {
+        let _ = DataProfile::new(DataClass::Integer, 0.5).with_level_weights([0.0; 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = DataProfile::new(DataClass::Float, 0.6);
+        let mut a = SimRng::seed_from(33);
+        let mut b = SimRng::seed_from(33);
+        for _ in 0..20 {
+            assert_eq!(
+                p.sample_change_set(256, &mut a),
+                p.sample_change_set(256, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload profiles: the parametric model of one benchmark program.
+
+use crate::data_model::DataProfile;
+
+/// One tier of a workload's memory traffic.
+///
+/// A tier is a stream of accesses with a footprint and an intensity.
+/// Combining a *hot* tier (small footprint, high intensity — absorbed by
+/// the LLC), optional *warm* tiers (tens of MiB — absorbed only by large
+/// LLCs) and a *cold* tier (much larger than any LLC — always reaching
+/// PCM) reproduces the way real benchmarks respond to the paper's LLC
+/// capacity sweep (Fig. 20).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_trace::TrafficTier;
+///
+/// let cold = TrafficTier::new(4.7, 2.3, 400.0, false);
+/// assert!(cold.reads_pki > cold.writes_pki);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficTier {
+    /// Loads per thousand instructions issued to this tier.
+    pub reads_pki: f64,
+    /// Stores per thousand instructions issued to this tier.
+    pub writes_pki: f64,
+    /// Footprint in MiB.
+    pub footprint_mib: f64,
+    /// Sequential scan (`true`) or uniform-random within the footprint.
+    pub streaming: bool,
+}
+
+impl TrafficTier {
+    /// Creates a tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are negative or the footprint is not positive.
+    pub fn new(reads_pki: f64, writes_pki: f64, footprint_mib: f64, streaming: bool) -> Self {
+        assert!(
+            reads_pki >= 0.0 && writes_pki >= 0.0,
+            "access rates must be nonnegative"
+        );
+        assert!(footprint_mib > 0.0, "footprint must be positive");
+        TrafficTier {
+            reads_pki,
+            writes_pki,
+            footprint_mib,
+            streaming,
+        }
+    }
+
+    /// Total accesses per kilo-instruction in this tier.
+    pub fn total_pki(&self) -> f64 {
+        self.reads_pki + self.writes_pki
+    }
+}
+
+/// The complete parametric model of one benchmark program running on one
+/// core.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_trace::{DataClass, DataProfile, TrafficTier, WorkloadProfile};
+///
+/// let p = WorkloadProfile::new(
+///     "toy",
+///     vec![TrafficTier::new(2.0, 1.0, 256.0, true)],
+///     DataProfile::new(DataClass::Integer, 0.4),
+/// );
+/// assert!((p.total_pki() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Short benchmark name (e.g. `C.mcf`).
+    pub name: &'static str,
+    /// Traffic tiers (hot → cold).
+    pub tiers: Vec<TrafficTier>,
+    /// Data-change model for lines this program dirties.
+    pub data: DataProfile,
+}
+
+impl WorkloadProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty or all tiers have zero intensity.
+    pub fn new(name: &'static str, tiers: Vec<TrafficTier>, data: DataProfile) -> Self {
+        assert!(!tiers.is_empty(), "a workload needs at least one tier");
+        let total: f64 = tiers.iter().map(TrafficTier::total_pki).sum();
+        assert!(total > 0.0, "a workload needs nonzero access intensity");
+        WorkloadProfile { name, tiers, data }
+    }
+
+    /// Total memory accesses per kilo-instruction across all tiers.
+    pub fn total_pki(&self) -> f64 {
+        self.tiers.iter().map(TrafficTier::total_pki).sum()
+    }
+
+    /// Expected *cold* (LLC-defeating) read intensity — the approximate
+    /// PCM-level RPKI this profile was calibrated to (tiers with
+    /// footprints larger than `llc_mib`).
+    pub fn cold_reads_pki(&self, llc_mib: f64) -> f64 {
+        self.tiers
+            .iter()
+            .filter(|t| t.footprint_mib > llc_mib)
+            .map(|t| t.reads_pki)
+            .sum()
+    }
+
+    /// Expected cold write intensity (approximate PCM-level WPKI).
+    pub fn cold_writes_pki(&self, llc_mib: f64) -> f64 {
+        self.tiers
+            .iter()
+            .filter(|t| t.footprint_mib > llc_mib)
+            .map(|t| t.writes_pki)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_model::DataClass;
+
+    fn data() -> DataProfile {
+        DataProfile::new(DataClass::Integer, 0.4)
+    }
+
+    #[test]
+    fn pki_sums_over_tiers() {
+        let p = WorkloadProfile::new(
+            "t",
+            vec![
+                TrafficTier::new(1.0, 0.5, 8.0, false),
+                TrafficTier::new(2.0, 1.0, 512.0, true),
+            ],
+            data(),
+        );
+        assert!((p.total_pki() - 4.5).abs() < 1e-12);
+        assert!((p.cold_reads_pki(32.0) - 2.0).abs() < 1e-12);
+        assert!((p.cold_writes_pki(32.0) - 1.0).abs() < 1e-12);
+        // A huge LLC absorbs everything.
+        assert_eq!(p.cold_reads_pki(1024.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_tiers_panic() {
+        let _ = WorkloadProfile::new("t", vec![], data());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero access intensity")]
+    fn zero_intensity_panics() {
+        let _ = WorkloadProfile::new("t", vec![TrafficTier::new(0.0, 0.0, 1.0, false)], data());
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn zero_footprint_panics() {
+        let _ = TrafficTier::new(1.0, 1.0, 0.0, false);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the trace generators and data models.
+
+use proptest::prelude::*;
+
+use crate::data_model::{DataClass, DataProfile};
+use crate::generator::{CoreTraceGenerator, CORE_REGION_BYTES};
+use crate::profile::{TrafficTier, WorkloadProfile};
+use fpb_types::{CoreId, SimRng};
+
+fn arb_class() -> impl Strategy<Value = DataClass> {
+    prop_oneof![
+        Just(DataClass::Integer),
+        Just(DataClass::Float),
+        Just(DataClass::Streaming),
+        Just(DataClass::Pointer),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Change sets are always valid: unique in-range cells, and the MLC
+    /// cell count never exceeds the bit count (each changed cell needs at
+    /// least one changed bit).
+    #[test]
+    fn change_sets_are_well_formed(
+        class in arb_class(),
+        wcp in 0.05f64..0.95,
+        line in prop_oneof![Just(64u32), Just(128), Just(256)],
+        seed in 0u64..500,
+    ) {
+        let p = DataProfile::new(class, wcp);
+        let mut rng = SimRng::seed_from(seed);
+        let (mlc, slc) = p.count_changes(line, &mut rng);
+        prop_assert!(mlc <= slc);
+        prop_assert!(mlc <= line * 4); // line_bytes * 8 / 2 cells
+        let cs = p.sample_change_set(line, &mut rng);
+        let mut cells: Vec<u32> = cs.iter().map(|&(c, _)| c).collect();
+        let n = cells.len();
+        cells.sort_unstable();
+        cells.dedup();
+        prop_assert_eq!(cells.len(), n, "duplicate cells");
+        prop_assert!(cells.iter().all(|&c| c < line * 4));
+    }
+
+    /// Generated operations always stay inside the owning core's private
+    /// region and carry positive instruction gaps.
+    #[test]
+    fn trace_ops_stay_in_core_region(
+        core in 0u8..8,
+        reads in 0.1f64..8.0,
+        writes in 0.1f64..4.0,
+        mib in 1.0f64..600.0,
+        streaming in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let p = WorkloadProfile::new(
+            "prop",
+            vec![TrafficTier::new(reads, writes, mib, streaming)],
+            DataProfile::new(DataClass::Integer, 0.4),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut g = CoreTraceGenerator::for_core(p, CoreId::new(core), &mut rng);
+        let lo = core as u64 * CORE_REGION_BYTES;
+        let hi = lo + CORE_REGION_BYTES;
+        for _ in 0..200 {
+            let op = g.next_op();
+            prop_assert!(op.gap_instructions >= 1);
+            prop_assert!((lo..hi).contains(&op.addr), "addr {:#x}", op.addr);
+        }
+    }
+
+    /// The empirical write fraction converges to the profile's.
+    #[test]
+    fn write_fraction_matches(
+        reads in 0.5f64..4.0,
+        writes in 0.5f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let p = WorkloadProfile::new(
+            "prop",
+            vec![TrafficTier::new(reads, writes, 64.0, false)],
+            DataProfile::new(DataClass::Integer, 0.4),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut g = CoreTraceGenerator::new(p, &mut rng);
+        let expect = writes / (reads + writes);
+        let n = 8000;
+        let got = (0..n).filter(|_| g.next_op().is_write).count() as f64 / n as f64;
+        prop_assert!((got - expect).abs() < 0.05, "got {got} expect {expect}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace recording and replay.
+//!
+//! The paper's methodology collects long memory traces (with a PIN tool)
+//! and replays them through the timing simulator. This module provides the
+//! equivalent workflow for the synthetic generators: record any operation
+//! stream to a compact binary format, and replay it later — so a trace can
+//! be captured once and shared, diffed, or replayed bit-identically across
+//! machines and versions.
+//!
+//! # Format
+//!
+//! Little-endian: magic `FPBT`, version `u32`, op count `u64`, then per
+//! operation `gap: u32`, `addr: u64`, `flags: u8` (bit 0 = write).
+
+use std::io::{self, Read, Write};
+
+use crate::access::TraceOp;
+
+const MAGIC: &[u8; 4] = b"FPBT";
+const VERSION: u32 = 1;
+
+/// Writes `ops` to `w` in the FPBT format, returning the operation count.
+///
+/// Pass `&mut writer` to keep using the writer afterwards.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error, or `InvalidInput` if an operation's
+/// instruction gap exceeds `u32::MAX` (gaps are instruction counts between
+/// consecutive memory operations; values beyond 4 G instructions indicate
+/// a corrupted stream).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_trace::record::{read_trace, write_trace};
+/// use fpb_trace::TraceOp;
+///
+/// let ops = vec![
+///     TraceOp { gap_instructions: 100, addr: 0x1000, is_write: false },
+///     TraceOp { gap_instructions: 7, addr: 0x2040, is_write: true },
+/// ];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, ops.iter().copied()).unwrap();
+/// assert_eq!(read_trace(&buf[..]).unwrap(), ops);
+/// ```
+pub fn write_trace<W: Write>(
+    mut w: W,
+    ops: impl IntoIterator<Item = TraceOp>,
+) -> io::Result<u64> {
+    // Buffer ops first: the header carries the count.
+    let ops: Vec<TraceOp> = ops.into_iter().collect();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(ops.len() as u64).to_le_bytes())?;
+    for op in &ops {
+        let gap: u32 = op
+            .gap_instructions
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "gap exceeds u32"))?;
+        w.write_all(&gap.to_le_bytes())?;
+        w.write_all(&op.addr.to_le_bytes())?;
+        w.write_all(&[op.is_write as u8])?;
+    }
+    Ok(ops.len() as u64)
+}
+
+/// Reads a complete FPBT trace from `r`.
+///
+/// Pass `&mut reader` to keep using the reader afterwards.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, unsupported version, or
+/// truncated body, and any underlying I/O error.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceOp>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut v = [0u8; 4];
+    r.read_exact(&mut v)?;
+    let version = u32::from_le_bytes(v);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let mut c = [0u8; 8];
+    r.read_exact(&mut c)?;
+    let count = u64::from_le_bytes(c);
+    let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let mut gap = [0u8; 4];
+        let mut addr = [0u8; 8];
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut gap)?;
+        r.read_exact(&mut addr)?;
+        r.read_exact(&mut flags)?;
+        ops.push(TraceOp {
+            gap_instructions: u32::from_le_bytes(gap) as u64,
+            addr: u64::from_le_bytes(addr),
+            is_write: flags[0] & 1 != 0,
+        });
+    }
+    Ok(ops)
+}
+
+/// Replays a recorded trace as an operation stream, looping when the
+/// recording is exhausted (so a finite capture can drive an arbitrarily
+/// long simulation, like the paper's SimPoint phases).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_trace::record::ReplayStream;
+/// use fpb_trace::TraceOp;
+///
+/// let ops = vec![
+///     TraceOp { gap_instructions: 1, addr: 0, is_write: false },
+///     TraceOp { gap_instructions: 2, addr: 64, is_write: true },
+/// ];
+/// let mut replay = ReplayStream::new(ops.clone()).unwrap();
+/// assert_eq!(replay.next_op(), ops[0]);
+/// assert_eq!(replay.next_op(), ops[1]);
+/// assert_eq!(replay.next_op(), ops[0]); // wraps
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    ops: Vec<TraceOp>,
+    pos: usize,
+    laps: u64,
+}
+
+impl ReplayStream {
+    /// Creates a replay over `ops`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `ops` is empty.
+    pub fn new(ops: Vec<TraceOp>) -> Result<Self, String> {
+        if ops.is_empty() {
+            return Err("cannot replay an empty trace".into());
+        }
+        Ok(ReplayStream {
+            ops,
+            pos: 0,
+            laps: 0,
+        })
+    }
+
+    /// Next operation, wrapping at the end of the recording.
+    pub fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos += 1;
+        if self.pos == self.ops.len() {
+            self.pos = 0;
+            self.laps += 1;
+        }
+        op
+    }
+
+    /// How many times the recording has fully wrapped.
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always false (construction rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::generator::CoreTraceGenerator;
+    use fpb_types::SimRng;
+
+    fn sample_ops(n: usize) -> Vec<TraceOp> {
+        let mut rng = SimRng::seed_from(9);
+        let mut g = CoreTraceGenerator::new(catalog::program("C.mcf").unwrap(), &mut rng);
+        (0..n).map(|_| g.next_op()).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_op() {
+        let ops = sample_ops(5000);
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, ops.iter().copied()).unwrap();
+        assert_eq!(n, 5000);
+        assert_eq!(read_trace(&buf[..]).unwrap(), ops);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_trace(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        buf[4] = 99;
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let ops = sample_ops(10);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_gap_is_rejected() {
+        let op = TraceOp {
+            gap_instructions: u64::from(u32::MAX) + 1,
+            addr: 0,
+            is_write: false,
+        };
+        let mut buf = Vec::new();
+        let err = write_trace(&mut buf, [op]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn replay_wraps_and_counts_laps() {
+        let ops = sample_ops(3);
+        let mut r = ReplayStream::new(ops.clone()).unwrap();
+        assert_eq!(r.len(), 3);
+        for _ in 0..7 {
+            let _ = r.next_op();
+        }
+        assert_eq!(r.laps(), 2);
+        assert_eq!(r.next_op(), ops[1]);
+        assert!(ReplayStream::new(Vec::new()).is_err());
+    }
+}

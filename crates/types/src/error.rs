@@ -1,0 +1,68 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied.
+///
+/// Returned by [`crate::SystemConfig::validate`] and by constructors that
+/// take configuration fragments. The message identifies the offending field
+/// and constraint.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_types::SystemConfig;
+///
+/// let mut cfg = SystemConfig::default();
+/// cfg.pcm.chips = 0;
+/// let err = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("chips"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: &'static str,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `field` with a human-readable `reason`.
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// The configuration field that failed validation.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_reason() {
+        let e = ConfigError::new("pcm.banks", "must be nonzero");
+        assert_eq!(e.field(), "pcm.banks");
+        let s = e.to_string();
+        assert!(s.contains("pcm.banks") && s.contains("must be nonzero"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ConfigError::new("x", "y"));
+    }
+}

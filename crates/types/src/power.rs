@@ -1,0 +1,263 @@
+//! Fixed-point power tokens.
+//!
+//! The paper's budgeting schemes are *token driven*: "Each token represents
+//! the power for a single cell RESET" (§3). SET pulses need a fraction of a
+//! token (half, in the paper's running example), and the global charge pump
+//! converts tokens at efficiencies like 0.7, so tokens must support exact
+//! fractional arithmetic. Floating point would accumulate rounding error in
+//! a ledger that is incremented and decremented millions of times, so
+//! [`Tokens`] is fixed point with a resolution of 1/1000 token.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Resolution of the fixed-point representation: 1 token = 1000 units.
+const SCALE: u64 = 1000;
+
+/// A quantity of write-power tokens (fixed point, millitoken resolution).
+///
+/// One whole token is the power required to RESET one MLC cell. The DIMM
+/// budget in the baseline is 560 tokens (§2.1.2).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_types::Tokens;
+///
+/// let budget = Tokens::from_cells(560);
+/// let reset = Tokens::from_cells(50);
+/// let set = reset.div_ratio(2); // SET power = RESET / 2
+/// assert_eq!(set, Tokens::from_cells(25));
+/// assert!(budget.checked_sub(reset).is_some());
+/// assert_eq!(budget - reset - set, Tokens::from_cells(485));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tokens(u64);
+
+impl Tokens {
+    /// No tokens.
+    pub const ZERO: Tokens = Tokens(0);
+
+    /// Tokens required to RESET `cells` cells (1 token per cell).
+    pub const fn from_cells(cells: u64) -> Self {
+        Tokens(cells * SCALE)
+    }
+
+    /// Constructs from raw millitokens. Prefer [`Tokens::from_cells`] or the
+    /// arithmetic helpers; this exists for serialization and tests.
+    pub const fn from_millis(millis: u64) -> Self {
+        Tokens(millis)
+    }
+
+    /// Raw millitoken count.
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value as whole tokens, rounded toward zero.
+    pub const fn whole(self) -> u64 {
+        self.0 / SCALE
+    }
+
+    /// Value as whole tokens, rounded up. Area-overhead estimates (Table 3)
+    /// round charge-pump sizes up to whole cell-RESET units.
+    pub const fn whole_ceil(self) -> u64 {
+        self.0.div_ceil(SCALE)
+    }
+
+    /// Value as an `f64` token count (for reporting only).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / SCALE as f64
+    }
+
+    /// Divides by an integer ratio, rounding up (a SET on `n` cells with
+    /// C = RESET/SET power ratio needs `ceil(n/C)` tokens — rounding up keeps
+    /// the ledger conservative so budgets are never exceeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    pub fn div_ratio(self, ratio: u64) -> Tokens {
+        assert!(ratio > 0, "token ratio must be nonzero");
+        Tokens(self.0.div_ceil(ratio))
+    }
+
+    /// Scales by an efficiency factor in `(0, 1]`, rounding down — converting
+    /// borrowed raw power into usable GCP output must never overstate the
+    /// deliverable power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff` is not in `(0.0, 1.0]`.
+    pub fn scale_down(self, eff: f64) -> Tokens {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
+        Tokens((self.0 as f64 * eff).floor() as u64)
+    }
+
+    /// Divides by an efficiency factor in `(0, 1]`, rounding up — computing
+    /// the raw power that must be drawn to deliver this many usable tokens
+    /// must never understate the draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff` is not in `(0.0, 1.0]`.
+    pub fn scale_up(self, eff: f64) -> Tokens {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
+        Tokens((self.0 as f64 / eff).ceil() as u64)
+    }
+
+    /// `self - other`, or `None` if it would underflow. Ledgers use this to
+    /// test-and-take in one step.
+    pub fn checked_sub(self, other: Tokens) -> Option<Tokens> {
+        self.0.checked_sub(other.0).map(Tokens)
+    }
+
+    /// `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: Tokens) -> Tokens {
+        Tokens(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two quantities.
+    pub fn min(self, other: Tokens) -> Tokens {
+        Tokens(self.0.min(other.0))
+    }
+
+    /// The larger of two quantities.
+    pub fn max(self, other: Tokens) -> Tokens {
+        Tokens(self.0.max(other.0))
+    }
+
+    /// True if this is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Tokens {
+    type Output = Tokens;
+    fn add(self, rhs: Tokens) -> Tokens {
+        Tokens(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tokens {
+    fn add_assign(&mut self, rhs: Tokens) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tokens {
+    type Output = Tokens;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; ledgers that may legitimately underflow should
+    /// use [`Tokens::checked_sub`].
+    fn sub(self, rhs: Tokens) -> Tokens {
+        Tokens(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Tokens {
+    fn sub_assign(&mut self, rhs: Tokens) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Tokens {
+    fn sum<I: Iterator<Item = Tokens>>(iter: I) -> Tokens {
+        Tokens(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for Tokens {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % SCALE == 0 {
+            write!(f, "{} tok", self.0 / SCALE)
+        } else {
+            write!(f, "{:.3} tok", self.as_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_roundtrip() {
+        let t = Tokens::from_cells(560);
+        assert_eq!(t.whole(), 560);
+        assert_eq!(t.millis(), 560_000);
+        assert!(!t.is_zero());
+        assert!(Tokens::ZERO.is_zero());
+    }
+
+    #[test]
+    fn set_cost_is_half_reset() {
+        // Paper §3 example: SET power is half of RESET power, so a SET on 6
+        // cells costs 3 tokens.
+        assert_eq!(Tokens::from_cells(6).div_ratio(2), Tokens::from_cells(3));
+        // Odd counts round up: 7 cells -> 3.5 tokens.
+        assert_eq!(Tokens::from_cells(7).div_ratio(2).millis(), 3500);
+    }
+
+    #[test]
+    fn efficiency_rounding_is_conservative() {
+        let usable = Tokens::from_cells(28);
+        // Table 3: GCP-BIM-0.70 -> 28 / 0.7 = 40 raw tokens.
+        assert_eq!(usable.scale_up(0.70).whole_ceil(), 40);
+        // Raw->usable never overstates: floor.
+        let raw = Tokens::from_cells(10);
+        assert!(raw.scale_down(0.7) <= raw);
+        assert_eq!(raw.scale_down(1.0), raw);
+    }
+
+    #[test]
+    fn scale_roundtrip_never_gains_power() {
+        for cells in [1u64, 3, 17, 560] {
+            for eff in [0.3, 0.5, 0.7, 0.95] {
+                let t = Tokens::from_cells(cells);
+                // Converting raw->usable->raw must need at least the original.
+                assert!(t.scale_down(eff).scale_up(eff) <= t + Tokens::from_millis(1));
+                // usable->raw->usable must deliver at least the original.
+                assert!(t.scale_up(eff).scale_down(eff) >= t.saturating_sub(Tokens::from_millis(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn checked_and_saturating() {
+        let a = Tokens::from_cells(5);
+        let b = Tokens::from_cells(7);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Tokens::from_cells(2)));
+        assert_eq!(a.saturating_sub(b), Tokens::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in (0, 1]")]
+    fn bad_efficiency_panics() {
+        let _ = Tokens::from_cells(1).scale_up(0.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Tokens::from_cells(5)), "5 tok");
+        assert_eq!(format!("{}", Tokens::from_millis(2500)), "2.500 tok");
+    }
+
+    #[test]
+    fn sum_min_max() {
+        let total: Tokens = [1u64, 2, 3].into_iter().map(Tokens::from_cells).sum();
+        assert_eq!(total, Tokens::from_cells(6));
+        assert_eq!(
+            Tokens::from_cells(2).max(Tokens::from_cells(9)),
+            Tokens::from_cells(9)
+        );
+        assert_eq!(
+            Tokens::from_cells(2).min(Tokens::from_cells(9)),
+            Tokens::from_cells(2)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the foundation types.
+
+use proptest::prelude::*;
+
+use crate::config::SystemConfig;
+use crate::power::Tokens;
+use crate::rng::SimRng;
+use crate::time::Cycles;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Token add/sub round-trips exactly (fixed point has no drift).
+    #[test]
+    fn tokens_add_sub_roundtrip(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let ta = Tokens::from_millis(a);
+        let tb = Tokens::from_millis(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!((ta + tb).saturating_sub(ta), tb);
+        prop_assert_eq!(ta.checked_sub(ta + tb + Tokens::from_millis(1)), None);
+    }
+
+    /// div_ratio times ratio never loses tokens (conservative ceil).
+    #[test]
+    fn div_ratio_is_conservative(cells in 0u64..100_000, ratio in 1u64..10) {
+        let t = Tokens::from_cells(cells);
+        let part = t.div_ratio(ratio);
+        let mut back = Tokens::ZERO;
+        for _ in 0..ratio {
+            back += part;
+        }
+        prop_assert!(back >= t);
+    }
+
+    /// Cycle arithmetic is order-preserving.
+    #[test]
+    fn cycles_ordering(a in 0u64..1_000_000, b in 0u64..1_000_000, d in 1u64..1000) {
+        let ca = Cycles::new(a);
+        let cb = Cycles::new(b);
+        prop_assert_eq!(ca < cb, a < b);
+        prop_assert!(ca + Cycles::new(d) > ca);
+        prop_assert_eq!(ca.max(cb).get(), a.max(b));
+    }
+
+    /// Range draws are uniform-ish and in bounds for arbitrary bounds.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.u64_below(bound) < bound);
+        }
+    }
+
+    /// Every config produced by the sweep helpers on the baseline stays
+    /// valid.
+    #[test]
+    fn sweep_helpers_preserve_validity(
+        line_idx in 0usize..3,
+        llc in prop_oneof![Just(8u32), Just(16), Just(32), Just(128)],
+        wq in prop_oneof![Just(24usize), Just(48), Just(96), Just(320)],
+        pt in 100u64..2000,
+        eff in 0.05f64..1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let line = [64u32, 128, 256][line_idx];
+        let cfg = SystemConfig::default()
+            .with_line_bytes(line)
+            .with_llc_mib(llc)
+            .with_write_queue(wq)
+            .with_pt_dimm(pt)
+            .with_gcp_efficiency(eff)
+            .with_seed(seed);
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+    }
+}

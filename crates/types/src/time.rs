@@ -1,0 +1,158 @@
+//! Simulation time measured in CPU cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration or point in time, in CPU cycles.
+///
+/// The baseline CPU runs at 4 GHz (Table 1), so 1 cycle = 0.25 ns. All
+/// latencies in the simulator are expressed in this unit: an MLC read is
+/// 1000 cycles, a RESET pulse 500 cycles, a SET pulse 1000 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_types::Cycles;
+///
+/// let t = Cycles::new(500) + Cycles::new(1000) * 3;
+/// assert_eq!(t.get(), 3500);
+/// assert_eq!(t.as_nanos_at_4ghz(), 875.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The largest representable time; used as "never" by schedulers.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a duration of `n` cycles.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self - other`, or [`Cycles::ZERO`] if `other` is later.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Converts to nanoseconds assuming the baseline 4 GHz clock.
+    pub fn as_nanos_at_4ghz(self) -> f64 {
+        self.0 as f64 * 0.25
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (time underflow).
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cy", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(40);
+        assert_eq!(a + b, Cycles::new(140));
+        assert_eq!(a - b, Cycles::new(60));
+        assert_eq!(a * 3, Cycles::new(300));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.saturating_sub(b), Cycles::new(60));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(Cycles::ZERO < Cycles::new(1));
+        assert!(Cycles::new(1) < Cycles::MAX);
+        assert_eq!(Cycles::new(5).max(Cycles::new(9)), Cycles::new(9));
+        assert_eq!(Cycles::new(5).min(Cycles::new(9)), Cycles::new(5));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(6));
+        assert_eq!(format!("{total}"), "6 cy");
+    }
+
+    #[test]
+    fn nanos_conversion_matches_table1() {
+        // MLC read: 250 ns = 1000 cycles at 4 GHz.
+        assert_eq!(Cycles::new(1000).as_nanos_at_4ghz(), 250.0);
+        // RESET: 125 ns = 500 cycles.
+        assert_eq!(Cycles::new(500).as_nanos_at_4ghz(), 125.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Cycles::default(), Cycles::ZERO);
+    }
+}

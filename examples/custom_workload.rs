@@ -1,0 +1,89 @@
+//! Build a custom workload from scratch — your own traffic tiers and
+//! data-change behaviour — and see how it responds to power budgeting.
+//!
+//! This is what a downstream user does to evaluate FPB on their own
+//! application's memory behaviour instead of the paper's suite.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use fpb::sim::{run_workload, SchemeSetup, SimOptions};
+use fpb::trace::{DataClass, DataProfile, TrafficTier, Workload, WorkloadProfile};
+use fpb::types::SystemConfig;
+
+fn main() {
+    // A key-value-store-like profile: a hot index that fits in the LLC,
+    // plus a large value log written back with dense (streaming-like)
+    // changes — the worst case for write power.
+    let kv_store = WorkloadProfile::new(
+        "kv-store",
+        vec![
+            // Hot index: intense, LLC-resident, read-mostly.
+            TrafficTier::new(1.2, 0.3, 16.0, false),
+            // Value log: cold, write-heavy, random.
+            TrafficTier::new(0.4, 0.5, 384.0, false),
+        ],
+        DataProfile::new(DataClass::Streaming, 0.7),
+    );
+
+    // An analytics scanner: pure streaming reads with occasional
+    // aggregation writes of float data.
+    let scanner = WorkloadProfile::new(
+        "scanner",
+        vec![
+            TrafficTier::new(1.6, 0.1, 448.0, true),
+            TrafficTier::new(0.5, 0.2, 8.0, false),
+        ],
+        DataProfile::new(DataClass::Float, 0.5),
+    );
+
+    // Four cores each.
+    let workload = Workload {
+        name: "kv+scan",
+        per_core: vec![
+            kv_store.clone(),
+            kv_store.clone(),
+            kv_store.clone(),
+            kv_store,
+            scanner.clone(),
+            scanner.clone(),
+            scanner.clone(),
+            scanner,
+        ],
+        table2_rpki: 0.0, // not a paper workload; targets unused
+        table2_wpki: 0.0,
+    };
+
+    let cfg = SystemConfig::default();
+    let opts = SimOptions::with_instructions(200_000);
+    let baseline = run_workload(&workload, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts);
+
+    println!("custom workload: 4x kv-store + 4x scanner");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>9} {:>10}",
+        "scheme", "CPI", "reads", "writes", "burst%", "cells/wr"
+    );
+    for setup in [
+        SchemeSetup::dimm_chip(&cfg),
+        SchemeSetup::fpb(&cfg),
+        SchemeSetup::fpb(&cfg).with_wt(8),
+        SchemeSetup::ideal(&cfg),
+    ] {
+        let m = run_workload(&workload, &cfg, &setup, &opts);
+        println!(
+            "{:<12} {:>8.2} {:>10} {:>10} {:>8.1}% {:>10.0}",
+            setup.label,
+            m.cpi(),
+            m.pcm_reads,
+            m.pcm_writes,
+            m.burst_fraction() * 100.0,
+            m.avg_cell_changes()
+        );
+    }
+    let fpb = run_workload(&workload, &cfg, &SchemeSetup::fpb(&cfg), &opts);
+    println!(
+        "\nFPB speedup over DIMM+chip on this workload: {:.3}",
+        fpb.speedup_over(&baseline)
+    );
+}

@@ -1,0 +1,52 @@
+//! Design-space exploration: how FPB's benefit moves with line size,
+//! LLC capacity and the DIMM token budget (the §6.4 sweeps, condensed).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use fpb::sim::engine::{run_workload_warmed, warm_cores};
+use fpb::sim::{SchemeSetup, SimOptions};
+use fpb::trace::catalog;
+use fpb::types::SystemConfig;
+
+fn fpb_gain(cfg: &SystemConfig, workload_name: &str, opts: &SimOptions) -> f64 {
+    let wl = catalog::workload(workload_name).expect("catalog workload");
+    let cores = warm_cores(&wl, cfg, opts);
+    let base = run_workload_warmed(&wl, cfg, &SchemeSetup::dimm_chip(cfg), opts, &cores);
+    let fpb = run_workload_warmed(&wl, cfg, &SchemeSetup::fpb(cfg), opts, &cores);
+    fpb.speedup_over(&base)
+}
+
+fn main() {
+    let opts = SimOptions::with_instructions(120_000);
+    let wl = "lbm_m";
+    println!("FPB speedup over DIMM+chip for {wl}, one knob at a time\n");
+
+    println!("line size (B)   FPB speedup");
+    for bytes in [64u32, 128, 256] {
+        let cfg = SystemConfig::default().with_line_bytes(bytes);
+        println!("{bytes:<15} {:.3}", fpb_gain(&cfg, wl, &opts));
+    }
+
+    println!("\nLLC capacity (MiB/core)   FPB speedup");
+    for mib in [8u32, 16, 32, 128] {
+        let cfg = SystemConfig::default().with_llc_mib(mib);
+        println!("{mib:<25} {:.3}", fpb_gain(&cfg, wl, &opts));
+    }
+
+    println!("\nDIMM budget (tokens)   FPB speedup");
+    for pt in [466u64, 532, 598] {
+        let cfg = SystemConfig::default().with_pt_dimm(pt);
+        println!("{pt:<22} {:.3}", fpb_gain(&cfg, wl, &opts));
+    }
+
+    println!("\nGCP efficiency   FPB speedup");
+    for eff in [0.95, 0.7, 0.5, 0.3] {
+        let cfg = SystemConfig::default().with_gcp_efficiency(eff);
+        println!("{eff:<16} {:.3}", fpb_gain(&cfg, wl, &opts));
+    }
+
+    println!("\nTakeaways (matching §6.4): bigger lines and tighter budgets");
+    println!("magnify FPB's advantage; giant LLCs and generous budgets shrink it.");
+}

@@ -1,0 +1,166 @@
+//! The `fpb` command-line simulator.
+//!
+//! ```sh
+//! cargo run --release --bin fpb -- run --workload mcf_m --scheme fpb
+//! cargo run --release --bin fpb -- compare --workload lbm_m
+//! cargo run --release --bin fpb -- list
+//! cargo run --release --bin fpb -- record --program C.mcf --ops 100000 --out mcf.fpbt
+//! ```
+
+use std::process::ExitCode;
+
+use fpb::cli::{self, Command, RunArgs};
+use fpb::sim::engine::{run_workload_warmed, warm_cores};
+use fpb::sim::Metrics;
+use fpb::trace::catalog;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(cmd) => match dispatch(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{}", cli::USAGE);
+            Ok(())
+        }
+        Command::List => {
+            println!("workloads (Table 2):");
+            for name in catalog::WORKLOADS {
+                let wl = catalog::workload(name).expect("catalog");
+                println!(
+                    "  {name:<8} RPKI {:>5.2}  WPKI {:>5.2}  ({})",
+                    wl.table2_rpki, wl.table2_wpki, wl.per_core[0].name
+                );
+            }
+            println!("\nschemes: {}", cli::scheme_names().join(", "));
+            Ok(())
+        }
+        Command::Record { program, ops, out } => {
+            let profile = catalog::program(&program)
+                .ok_or_else(|| format!("unknown program `{program}` (try `fpb list`)"))?;
+            let mut rng = fpb::types::SimRng::seed_from(0xF9B);
+            let mut gen = fpb::trace::CoreTraceGenerator::new(profile, &mut rng);
+            let recorded: Vec<_> = (0..ops).map(|_| gen.next_op()).collect();
+            let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+            let n = fpb::trace::record::write_trace(std::io::BufWriter::new(file), recorded)
+                .map_err(|e| format!("write {out}: {e}"))?;
+            println!("recorded {n} operations of {program} to {out}");
+            Ok(())
+        }
+        Command::Run(ra) => {
+            let (wl, opts) = resolve(&ra)?;
+            let setup = cli::build_scheme(&ra.scheme, &ra).map_err(|e| e.to_string())?;
+            let cores = warm_cores(&wl, &ra.cfg, &opts);
+            let m = run_workload_warmed(&wl, &ra.cfg, &setup, &opts, &cores);
+            print_header();
+            print_metrics(&setup.label, &m, None);
+            print_wear(&m);
+            Ok(())
+        }
+        Command::Sweep { args, axes, csv } => {
+            let (wl, opts) = resolve(&args)?;
+            let built: Result<Vec<_>, _> = axes
+                .iter()
+                .map(|(n, vs)| cli::build_axis(n, vs))
+                .collect();
+            let points = fpb::sim::sweep::run_sweep(
+                &wl,
+                args.cfg.clone(),
+                &built.map_err(|e| e.to_string())?,
+                fpb::sim::SchemeSetup::fpb,
+                fpb::sim::SchemeSetup::dimm_chip,
+                &opts,
+            );
+            println!("{:<40} {:>9} {:>9} {:>9}", "point", "speedup", "CPI", "burst%");
+            for p in &points {
+                println!(
+                    "{:<40} {:>9.3} {:>9.2} {:>8.1}%",
+                    p.label,
+                    p.speedup(),
+                    p.metrics.cpi(),
+                    p.metrics.burst_fraction() * 100.0
+                );
+            }
+            if let Some(path) = csv {
+                let file =
+                    std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+                let mut w = std::io::BufWriter::new(file);
+                fpb::sim::report::write_csv_header(&mut w).map_err(|e| e.to_string())?;
+                for p in &points {
+                    let label = p.label.replace(',', ";");
+                    fpb::sim::report::write_csv_row(&mut w, &label, &p.metrics)
+                        .map_err(|e| e.to_string())?;
+                }
+                println!("\nwrote {} rows to {path}", points.len());
+            }
+            Ok(())
+        }
+        Command::Compare(ra) => {
+            let (wl, opts) = resolve(&ra)?;
+            let cores = warm_cores(&wl, &ra.cfg, &opts);
+            let mut baseline: Option<Metrics> = None;
+            print_header();
+            for name in ["dimm-chip", "dimm-only", "pwl", "gcp", "gcp-ipm", "fpb", "ideal"] {
+                let setup = cli::build_scheme(name, &ra).map_err(|e| e.to_string())?;
+                let m = run_workload_warmed(&wl, &ra.cfg, &setup, &opts, &cores);
+                print_metrics(&setup.label, &m, baseline.as_ref());
+                if baseline.is_none() {
+                    baseline = Some(m);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn resolve(ra: &RunArgs) -> Result<(fpb::trace::Workload, fpb::sim::SimOptions), String> {
+    let wl = catalog::workload(&ra.workload)
+        .ok_or_else(|| format!("unknown workload `{}` (try `fpb list`)", ra.workload))?;
+    Ok((wl, cli::sim_options(ra)))
+}
+
+fn print_header() {
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>8} {:>10} {:>9}",
+        "scheme", "CPI", "reads", "writes", "burst%", "rd-lat", "speedup"
+    );
+}
+
+fn print_metrics(label: &str, m: &Metrics, baseline: Option<&Metrics>) {
+    let speedup = baseline.map(|b| m.speedup_over(b)).unwrap_or(1.0);
+    println!(
+        "{:<16} {:>8.2} {:>9} {:>9} {:>7.1}% {:>10.0} {:>9.3}",
+        label,
+        m.cpi(),
+        m.pcm_reads,
+        m.pcm_writes,
+        m.burst_fraction() * 100.0,
+        m.avg_read_latency(),
+        speedup
+    );
+}
+
+fn print_wear(m: &Metrics) {
+    if let Some(e) = &m.endurance {
+        println!(
+            "\nwear: {} cells written, chip imbalance {:.3}, lifetime {:.1e}x this run",
+            e.total_cells_written(),
+            e.chip_imbalance(),
+            e.lifetime_multiple()
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! Command-line interface for the `fpb` binary.
+//!
+//! Hand-rolled argument parsing (no CLI dependency) kept separate from the
+//! binary so it is unit-testable. Subcommands:
+//!
+//! * `run` — simulate a workload under a scheme and print metrics.
+//! * `compare` — run every major scheme on one workload.
+//! * `list` — list catalog workloads, programs, and scheme names.
+//! * `record` — record a program's synthetic trace to an FPBT file.
+
+use std::fmt;
+
+use fpb_pcm::CellMapping;
+use fpb_sim::{SchemeSetup, SimOptions};
+use fpb_types::SystemConfig;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fpb run --workload W --scheme S [options]`
+    Run(RunArgs),
+    /// `fpb compare --workload W [options]`
+    Compare(RunArgs),
+    /// `fpb sweep --workload W --axis name=v1,v2 [--axis ...] [options]`
+    Sweep {
+        /// Shared run options (`scheme` is the swept scheme; the baseline
+        /// is always DIMM+chip).
+        args: RunArgs,
+        /// Parsed axes: `(axis name, raw comma-separated values)`.
+        axes: Vec<(String, String)>,
+        /// Optional CSV output path.
+        csv: Option<String>,
+    },
+    /// `fpb list`
+    List,
+    /// `fpb record --program P --ops N --out FILE`
+    Record {
+        /// Suite-qualified program name (e.g. `C.mcf`).
+        program: String,
+        /// Number of operations to record.
+        ops: u64,
+        /// Output path.
+        out: String,
+    },
+    /// `fpb help`
+    Help,
+}
+
+/// Options shared by `run` and `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Table 2 workload name.
+    pub workload: String,
+    /// Scheme name (see [`scheme_names`]); `compare` ignores it.
+    pub scheme: String,
+    /// Instructions per core.
+    pub instructions: u64,
+    /// System configuration after applying the sweep flags.
+    pub cfg: SystemConfig,
+    /// Cell mapping override (`--mapping NE|VIM|BIM`).
+    pub mapping: Option<CellMapping>,
+    /// Write cancellation / pausing / truncation flags.
+    pub wc: bool,
+    /// Write pausing.
+    pub wp: bool,
+    /// Write truncation ECC budget.
+    pub wt: Option<u32>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            workload: "mcf_m".into(),
+            scheme: "fpb".into(),
+            instructions: 200_000,
+            cfg: SystemConfig::default(),
+            mapping: None,
+            wc: false,
+            wp: false,
+            wt: None,
+        }
+    }
+}
+
+/// Error from parsing or resolving arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The scheme names `--scheme` accepts.
+pub fn scheme_names() -> &'static [&'static str] {
+    &[
+        "ideal",
+        "dimm-only",
+        "dimm-chip",
+        "pwl",
+        "1.5xlocal",
+        "2xlocal",
+        "gcp",
+        "gcp-ipm",
+        "fpb",
+    ]
+}
+
+/// Builds the scheme setup named by `name` (plus the run's modifiers).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for an unknown scheme name.
+pub fn build_scheme(name: &str, args: &RunArgs) -> Result<SchemeSetup, CliError> {
+    let cfg = &args.cfg;
+    let mut setup = match name {
+        "ideal" => SchemeSetup::ideal(cfg),
+        "dimm-only" => SchemeSetup::dimm_only(cfg),
+        "dimm-chip" => SchemeSetup::dimm_chip(cfg),
+        "pwl" => SchemeSetup::pwl(cfg),
+        "1.5xlocal" => SchemeSetup::scaled_local(cfg, 1.5),
+        "2xlocal" => SchemeSetup::scaled_local(cfg, 2.0),
+        "gcp" => SchemeSetup::gcp(cfg, args.mapping.unwrap_or(CellMapping::Bim), cfg.power.e_gcp),
+        "gcp-ipm" => SchemeSetup::gcp_ipm(cfg),
+        "fpb" => SchemeSetup::fpb(cfg),
+        other => {
+            return Err(CliError(format!(
+                "unknown scheme `{other}` (expected one of {})",
+                scheme_names().join(", ")
+            )))
+        }
+    };
+    if let Some(m) = args.mapping {
+        setup = setup.with_mapping(m);
+    }
+    if args.wc {
+        setup = setup.with_wc();
+    }
+    if args.wp {
+        setup = setup.with_wp();
+    }
+    if let Some(ecc) = args.wt {
+        setup = setup.with_wt(ecc);
+    }
+    Ok(setup)
+}
+
+/// Parses a full argument vector (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] describing the offending flag or value.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "record" => {
+            let mut program = None;
+            let mut ops = 100_000u64;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, CliError> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--program" => program = Some(value("--program")?),
+                    "--ops" => {
+                        ops = value("--ops")?
+                            .parse()
+                            .map_err(|_| CliError("--ops must be an integer".into()))?
+                    }
+                    "--out" => out = Some(value("--out")?),
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Record {
+                program: program.ok_or(CliError("record requires --program".into()))?,
+                ops,
+                out: out.ok_or(CliError("record requires --out".into()))?,
+            })
+        }
+        "run" | "compare" | "sweep" => {
+            let mut ra = RunArgs::default();
+            let mut axes = Vec::new();
+            let mut csv = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, CliError> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--workload" => ra.workload = value("--workload")?,
+                    "--scheme" => ra.scheme = value("--scheme")?,
+                    "--instructions" => {
+                        ra.instructions = parse_num(&value("--instructions")?, "--instructions")?
+                    }
+                    "--line-bytes" => {
+                        let b = parse_num(&value("--line-bytes")?, "--line-bytes")? as u32;
+                        ra.cfg = ra.cfg.with_line_bytes(b);
+                    }
+                    "--llc-mib" => {
+                        let m = parse_num(&value("--llc-mib")?, "--llc-mib")? as u32;
+                        ra.cfg = ra.cfg.with_llc_mib(m);
+                    }
+                    "--wrq" => {
+                        let w = parse_num(&value("--wrq")?, "--wrq")? as usize;
+                        ra.cfg = ra.cfg.with_write_queue(w);
+                    }
+                    "--pt-dimm" => {
+                        let p = parse_num(&value("--pt-dimm")?, "--pt-dimm")?;
+                        ra.cfg = ra.cfg.with_pt_dimm(p);
+                    }
+                    "--e-gcp" => {
+                        let e: f64 = value("--e-gcp")?
+                            .parse()
+                            .map_err(|_| CliError("--e-gcp must be a float".into()))?;
+                        ra.cfg = ra.cfg.with_gcp_efficiency(e);
+                    }
+                    "--seed" => {
+                        let s = parse_num(&value("--seed")?, "--seed")?;
+                        ra.cfg = ra.cfg.with_seed(s);
+                    }
+                    "--mapping" => {
+                        let m = value("--mapping")?;
+                        ra.mapping = Some(
+                            m.parse()
+                                .map_err(|e| CliError(format!("--mapping: {e}")))?,
+                        );
+                    }
+                    "--wc" => ra.wc = true,
+                    "--wp" => ra.wp = true,
+                    "--wt" => ra.wt = Some(parse_num(&value("--wt")?, "--wt")? as u32),
+                    "--axis" if sub == "sweep" => {
+                        let spec = value("--axis")?;
+                        let (name, vals) = spec.split_once('=').ok_or_else(|| {
+                            CliError("--axis expects name=v1,v2,...".into())
+                        })?;
+                        axes.push((name.to_string(), vals.to_string()));
+                    }
+                    "--csv" if sub == "sweep" => csv = Some(value("--csv")?),
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            ra.cfg
+                .validate()
+                .map_err(|e| CliError(format!("invalid configuration: {e}")))?;
+            match sub {
+                "run" => Ok(Command::Run(ra)),
+                "compare" => Ok(Command::Compare(ra)),
+                _ => {
+                    if axes.is_empty() {
+                        return Err(CliError("sweep requires at least one --axis".into()));
+                    }
+                    Ok(Command::Sweep {
+                        args: ra,
+                        axes,
+                        csv,
+                    })
+                }
+            }
+        }
+        other => Err(CliError(format!(
+            "unknown subcommand `{other}` (try `fpb help`)"
+        ))),
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<u64, CliError> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| CliError(format!("{flag} must be an integer, got `{s}`")))
+}
+
+/// Simulation options derived from parsed args.
+pub fn sim_options(args: &RunArgs) -> SimOptions {
+    SimOptions::with_instructions(args.instructions)
+}
+
+/// Builds a [`fpb_sim::sweep::Axis`] from a CLI `name=v1,v2` spec.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown axis names or unparsable values.
+pub fn build_axis(name: &str, values: &str) -> Result<fpb_sim::sweep::Axis, CliError> {
+    use fpb_sim::sweep::Axis;
+    fn nums<T: std::str::FromStr>(values: &str, what: &str) -> Result<Vec<T>, CliError> {
+        values
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<T>()
+                    .map_err(|_| CliError(format!("bad {what} value `{v}`")))
+            })
+            .collect()
+    }
+    match name {
+        "line-bytes" => Ok(Axis::line_bytes(&nums::<u32>(values, "line-bytes")?)),
+        "llc-mib" => Ok(Axis::llc_mib(&nums::<u32>(values, "llc-mib")?)),
+        "pt-dimm" => Ok(Axis::pt_dimm(&nums::<u64>(values, "pt-dimm")?)),
+        "e-gcp" => Ok(Axis::e_gcp(&nums::<f64>(values, "e-gcp")?)),
+        other => Err(CliError(format!(
+            "unknown axis `{other}` (expected line-bytes, llc-mib, pt-dimm, e-gcp)"
+        ))),
+    }
+}
+
+/// The `fpb help` text.
+pub const USAGE: &str = "\
+fpb — fine-grained power budgeting for MLC PCM (MICRO 2012 reproduction)
+
+USAGE:
+  fpb run     --workload <name> --scheme <name> [options]
+  fpb compare --workload <name> [options]
+  fpb sweep   --workload <name> --axis <name=v1,v2,..> [--axis ..] [--csv out.csv] [options]
+  fpb list
+  fpb record  --program <C.mcf|...> --ops <n> --out <file.fpbt>
+
+SWEEP AXES: line-bytes, llc-mib, pt-dimm, e-gcp (FPB vs DIMM+chip per point)
+
+OPTIONS (run/compare):
+  --instructions <n>   instructions per core        [200000]
+  --line-bytes <n>     PCM/LLC line size            [256]
+  --llc-mib <n>        LLC capacity per core, MiB   [32]
+  --wrq <n>            write-queue entries          [24]
+  --pt-dimm <n>        DIMM power tokens            [560]
+  --e-gcp <f>          GCP efficiency               [0.7]
+  --mapping <NE|VIM|BIM>  cell-to-chip mapping
+  --seed <n>           RNG seed
+  --wc / --wp / --wt <ecc>  write cancellation / pausing / truncation
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["list"])).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn run_with_options() {
+        let cmd = parse(&v(&[
+            "run",
+            "--workload",
+            "lbm_m",
+            "--scheme",
+            "gcp-ipm",
+            "--instructions",
+            "50_000",
+            "--line-bytes",
+            "128",
+            "--pt-dimm",
+            "466",
+            "--mapping",
+            "vim",
+            "--wc",
+            "--wt",
+            "8",
+        ]))
+        .unwrap();
+        let Command::Run(ra) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(ra.workload, "lbm_m");
+        assert_eq!(ra.scheme, "gcp-ipm");
+        assert_eq!(ra.instructions, 50_000);
+        assert_eq!(ra.cfg.pcm.line_bytes, 128);
+        assert_eq!(ra.cfg.power.pt_dimm, 466);
+        assert_eq!(ra.mapping, Some(CellMapping::Vim));
+        assert!(ra.wc && !ra.wp);
+        assert_eq!(ra.wt, Some(8));
+    }
+
+    #[test]
+    fn rejects_unknowns_and_bad_values() {
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "--bogus"])).is_err());
+        assert!(parse(&v(&["run", "--instructions", "many"])).is_err());
+        assert!(parse(&v(&["run", "--instructions"])).is_err());
+        assert!(parse(&v(&["run", "--line-bytes", "100"])).is_err(), "invalid config");
+        assert!(parse(&v(&["record", "--ops", "10"])).is_err(), "missing required");
+    }
+
+    #[test]
+    fn sweep_parses_axes_and_csv() {
+        let cmd = parse(&v(&[
+            "sweep",
+            "--workload",
+            "lbm_m",
+            "--axis",
+            "pt-dimm=466,560",
+            "--axis",
+            "e-gcp=0.7,0.5",
+            "--csv",
+            "/tmp/out.csv",
+        ]))
+        .unwrap();
+        let Command::Sweep { args, axes, csv } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(args.workload, "lbm_m");
+        assert_eq!(axes.len(), 2);
+        assert_eq!(axes[0], ("pt-dimm".into(), "466,560".into()));
+        assert_eq!(csv.as_deref(), Some("/tmp/out.csv"));
+        // Axes resolve.
+        for (n, vs) in &axes {
+            assert!(build_axis(n, vs).is_ok());
+        }
+        assert!(build_axis("warp", "1").is_err());
+        assert!(build_axis("pt-dimm", "many").is_err());
+    }
+
+    #[test]
+    fn sweep_requires_axes() {
+        assert!(parse(&v(&["sweep", "--workload", "lbm_m"])).is_err());
+        assert!(parse(&v(&["sweep", "--axis", "nope"])).is_err());
+    }
+
+    #[test]
+    fn record_parses() {
+        let cmd = parse(&v(&[
+            "record",
+            "--program",
+            "C.mcf",
+            "--ops",
+            "5000",
+            "--out",
+            "/tmp/t.fpbt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Record {
+                program: "C.mcf".into(),
+                ops: 5000,
+                out: "/tmp/t.fpbt".into()
+            }
+        );
+    }
+
+    #[test]
+    fn every_scheme_name_builds() {
+        let ra = RunArgs::default();
+        for name in scheme_names() {
+            let s = build_scheme(name, &ra).unwrap_or_else(|e| panic!("{name}: {e}"));
+            s.policy.validate().unwrap();
+        }
+        assert!(build_scheme("nope", &ra).is_err());
+    }
+
+    #[test]
+    fn modifiers_compose() {
+        let ra = RunArgs {
+            wc: true,
+            wp: true,
+            wt: Some(8),
+            mapping: Some(CellMapping::Naive),
+            ..RunArgs::default()
+        };
+        let s = build_scheme("fpb", &ra).unwrap();
+        assert!(s.write_cancellation && s.write_pausing);
+        assert_eq!(s.truncation_ecc, Some(8));
+        assert_eq!(s.mapping, CellMapping::Naive);
+    }
+}

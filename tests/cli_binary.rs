@@ -1,0 +1,90 @@
+//! End-to-end tests of the `fpb` binary (spawned as a real process).
+
+use std::process::Command;
+
+fn fpb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpb"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = fpb().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--workload"));
+}
+
+#[test]
+fn list_names_all_workloads_and_schemes() {
+    let out = fpb().arg("list").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in fpb::trace::catalog::WORKLOADS {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert!(text.contains("fpb") && text.contains("dimm-chip"));
+}
+
+#[test]
+fn run_produces_metrics_table() {
+    let out = fpb()
+        .args([
+            "run",
+            "--workload",
+            "cop_m",
+            "--scheme",
+            "fpb",
+            "--instructions",
+            "30000",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CPI"));
+    assert!(text.contains("FPB"));
+    assert!(text.contains("wear:"), "wear summary expected: {text}");
+}
+
+#[test]
+fn bad_arguments_fail_with_diagnostics() {
+    let out = fpb().args(["run", "--scheme", "warp-drive"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scheme"), "stderr: {err}");
+
+    let out = fpb().args(["run", "--workload", "nope_m"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+
+    let out = fpb().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn record_writes_a_replayable_trace() {
+    let dir = std::env::temp_dir().join("fpb-cli-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("mcf.fpbt");
+    let out = fpb()
+        .args([
+            "record",
+            "--program",
+            "C.mcf",
+            "--ops",
+            "2000",
+            "--out",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&path).expect("file written");
+    let ops = fpb::trace::record::read_trace(&bytes[..]).expect("valid trace");
+    assert_eq!(ops.len(), 2000);
+    let mut replay = fpb::trace::record::ReplayStream::new(ops).expect("nonempty");
+    assert!(replay.next_op().gap_instructions >= 1);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,154 @@
+//! End-to-end system tests: whole-simulation invariants that span every
+//! crate in the workspace.
+
+use fpb::sim::engine::{run_workload_warmed, warm_cores};
+use fpb::sim::{run_workload, Metrics, SchemeSetup, SimOptions};
+use fpb::trace::catalog;
+use fpb::types::SystemConfig;
+
+fn opts() -> SimOptions {
+    SimOptions::with_instructions(80_000)
+}
+
+fn run(name: &str, setup: &SchemeSetup) -> Metrics {
+    let cfg = SystemConfig::default();
+    let wl = catalog::workload(name).expect("workload");
+    run_workload(&wl, &cfg, setup, &opts())
+}
+
+#[test]
+fn every_workload_completes_under_every_major_scheme() {
+    let cfg = SystemConfig::default();
+    for name in catalog::WORKLOADS {
+        let wl = catalog::workload(name).expect("workload");
+        let cores = warm_cores(&wl, &cfg, &opts());
+        for setup in [
+            SchemeSetup::ideal(&cfg),
+            SchemeSetup::dimm_only(&cfg),
+            SchemeSetup::dimm_chip(&cfg),
+            SchemeSetup::fpb(&cfg),
+        ] {
+            let m = run_workload_warmed(&wl, &cfg, &setup, &opts(), &cores);
+            assert!(m.cycles > 0, "{name}/{}", setup.label);
+            assert!(m.cpi() >= 1.0, "{name}/{}: CPI {}", setup.label, m.cpi());
+        }
+    }
+}
+
+#[test]
+fn determinism_full_stack() {
+    let a = run("bwa_m", &SchemeSetup::fpb(&SystemConfig::default()));
+    let b = run("bwa_m", &SchemeSetup::fpb(&SystemConfig::default()));
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.pcm_reads, b.pcm_reads);
+    assert_eq!(a.pcm_writes, b.pcm_writes);
+    assert_eq!(a.cells_written, b.cells_written);
+    assert_eq!(a.burst_cycles, b.burst_cycles);
+    assert_eq!(a.power.gcp_usable_total(), b.power.gcp_usable_total());
+}
+
+#[test]
+fn different_seeds_change_the_run_but_not_the_story() {
+    let cfg1 = SystemConfig::default().with_seed(1);
+    let cfg2 = SystemConfig::default().with_seed(2);
+    let wl = catalog::workload("lbm_m").expect("workload");
+    let a = run_workload(&wl, &cfg1, &SchemeSetup::dimm_chip(&cfg1), &opts());
+    let b = run_workload(&wl, &cfg2, &SchemeSetup::dimm_chip(&cfg2), &opts());
+    assert_ne!(a.cycles, b.cycles, "seeds must matter");
+    // ...but the workload's character is stable: within 2x of each other.
+    let ratio = a.cpi() / b.cpi();
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn ideal_upper_bounds_all_budgeted_schemes() {
+    let cfg = SystemConfig::default();
+    let wl = catalog::workload("mcf_m").expect("workload");
+    let cores = warm_cores(&wl, &cfg, &opts());
+    let ideal = run_workload_warmed(&wl, &cfg, &SchemeSetup::ideal(&cfg), &opts(), &cores);
+    for setup in [
+        SchemeSetup::dimm_only(&cfg),
+        SchemeSetup::dimm_chip(&cfg),
+        SchemeSetup::pwl(&cfg),
+        SchemeSetup::fpb(&cfg),
+    ] {
+        let m = run_workload_warmed(&wl, &cfg, &setup, &opts(), &cores);
+        assert!(
+            m.cycles as f64 >= ideal.cycles as f64 * 0.98,
+            "{} ({}) beat Ideal ({})",
+            setup.label,
+            m.cycles,
+            ideal.cycles
+        );
+    }
+}
+
+#[test]
+fn fpb_ordering_on_write_heavy_workloads() {
+    // The paper's core result, at test scale: DIMM+chip <= FPB <= Ideal
+    // with strict improvement on write-bound workloads.
+    let cfg = SystemConfig::default();
+    for name in ["mcf_m", "lbm_m", "bwa_m", "mum_m"] {
+        let wl = catalog::workload(name).expect("workload");
+        let cores = warm_cores(&wl, &cfg, &opts());
+        let chip = run_workload_warmed(&wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts(), &cores);
+        let fpb = run_workload_warmed(&wl, &cfg, &SchemeSetup::fpb(&cfg), &opts(), &cores);
+        assert!(
+            fpb.cycles < chip.cycles,
+            "{name}: FPB {} !< DIMM+chip {}",
+            fpb.cycles,
+            chip.cycles
+        );
+    }
+}
+
+#[test]
+fn read_and_write_counts_are_scheme_invariant_for_warmed_runs() {
+    // The front end is deterministic and closed-loop: schemes change
+    // *when* requests are served, not how many exist. With shared warmed
+    // cores the totals must be nearly identical (tail effects only).
+    let cfg = SystemConfig::default();
+    let wl = catalog::workload("les_m").expect("workload");
+    let cores = warm_cores(&wl, &cfg, &opts());
+    let a = run_workload_warmed(&wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts(), &cores);
+    let b = run_workload_warmed(&wl, &cfg, &SchemeSetup::fpb(&cfg), &opts(), &cores);
+    let read_ratio = a.pcm_reads as f64 / b.pcm_reads.max(1) as f64;
+    assert!(
+        (0.9..1.1).contains(&read_ratio),
+        "read volume moved with the scheme: {read_ratio}"
+    );
+}
+
+#[test]
+fn burst_fraction_tracks_write_pressure() {
+    let heavy = run("mum_m", &SchemeSetup::dimm_chip(&SystemConfig::default()));
+    let light = run("xal_m", &SchemeSetup::dimm_chip(&SystemConfig::default()));
+    assert!(
+        heavy.burst_fraction() > light.burst_fraction(),
+        "write-heavy {} vs light {}",
+        heavy.burst_fraction(),
+        light.burst_fraction()
+    );
+}
+
+#[test]
+fn metrics_internal_consistency() {
+    let m = run("cop_m", &SchemeSetup::fpb(&SystemConfig::default()));
+    assert!(m.write_rounds >= m.pcm_writes, "rounds contain writes");
+    assert!(m.burst_cycles <= m.cycles);
+    assert!(m.write_active_cycles <= m.cycles);
+    if m.pcm_writes > 0 {
+        assert!(m.avg_cell_changes() > 0.0);
+        assert!(m.cells_written >= m.pcm_writes as u64);
+    }
+}
+
+#[test]
+fn wear_leveling_changes_little_as_in_the_paper() {
+    // PWL was the paper's null result (~2 % gain): it must neither crash
+    // nor transform performance.
+    let base = run("mcf_m", &SchemeSetup::dimm_chip(&SystemConfig::default()));
+    let pwl = run("mcf_m", &SchemeSetup::pwl(&SystemConfig::default()));
+    let speedup = pwl.speedup_over(&base);
+    assert!((0.85..1.25).contains(&speedup), "PWL speedup {speedup}");
+}

@@ -1,0 +1,87 @@
+//! Cell-mapping × data-model integration: the statistical claims behind
+//! §4.3 — which mapping balances which data class, measured end to end
+//! from the bit-level change model to per-chip demand.
+
+use fpb::pcm::CellMapping;
+use fpb::trace::{DataClass, DataProfile};
+use fpb::types::SimRng;
+
+/// Mean ratio of (max per-chip demand) to (balanced share) across many
+/// sampled writes — 1.0 is perfect balance.
+fn imbalance(class: DataClass, wcp: f64, mapping: CellMapping, seed: u64) -> f64 {
+    let profile = DataProfile::new(class, wcp);
+    let mut rng = SimRng::seed_from(seed);
+    let mut total_ratio = 0.0;
+    let mut n = 0;
+    for _ in 0..300 {
+        let cs = profile.sample_change_set(256, &mut rng);
+        if cs.len() < 16 {
+            continue;
+        }
+        let counts = mapping.distribute(cs.iter().map(|&(c, _)| c), 8);
+        let max = *counts.iter().max().expect("8 chips") as f64;
+        let fair = cs.len() as f64 / 8.0;
+        total_ratio += max / fair;
+        n += 1;
+    }
+    assert!(n > 100, "not enough samples");
+    total_ratio / n as f64
+}
+
+#[test]
+fn bim_balances_integer_data_best() {
+    let ne = imbalance(DataClass::Integer, 0.5, CellMapping::Naive, 1);
+    let bim = imbalance(DataClass::Integer, 0.5, CellMapping::Bim, 1);
+    assert!(
+        bim <= ne,
+        "BIM must balance integer data at least as well as NE: {bim} vs {ne}"
+    );
+    assert!(bim < 1.5, "BIM imbalance on integers too high: {bim}");
+}
+
+#[test]
+fn vim_balances_float_data() {
+    // FP changes cluster within words; NE puts whole words on one chip,
+    // VIM spreads each word across all chips (the paper's motivation for
+    // VIM, §4.3).
+    let ne = imbalance(DataClass::Float, 0.3, CellMapping::Naive, 2);
+    let vim = imbalance(DataClass::Float, 0.3, CellMapping::Vim, 2);
+    assert!(
+        vim < ne,
+        "VIM must balance float data better than NE: {vim} vs {ne}"
+    );
+}
+
+#[test]
+fn streaming_data_is_balanced_under_every_mapping() {
+    for mapping in CellMapping::ALL {
+        let r = imbalance(DataClass::Streaming, 0.7, mapping, 3);
+        assert!(r < 1.35, "{mapping}: streaming imbalance {r}");
+    }
+}
+
+#[test]
+fn mappings_preserve_total_demand() {
+    // Distributing never loses or invents cells.
+    let profile = DataProfile::new(DataClass::Pointer, 0.4);
+    let mut rng = SimRng::seed_from(4);
+    for _ in 0..100 {
+        let cs = profile.sample_change_set(256, &mut rng);
+        for mapping in CellMapping::ALL {
+            let counts = mapping.distribute(cs.iter().map(|&(c, _)| c), 8);
+            assert_eq!(counts.iter().sum::<u32>() as usize, cs.len(), "{mapping}");
+        }
+    }
+}
+
+#[test]
+fn imbalance_ranking_drives_gcp_need() {
+    // The worst-balanced (mapping, class) pair must show per-write chip
+    // spikes above the per-chip fair share — the phenomenon that makes
+    // the chip budget bind and the GCP earn its area.
+    let spiky = imbalance(DataClass::Float, 0.3, CellMapping::Naive, 5);
+    assert!(
+        spiky > 1.6,
+        "NE on float data should spike per-chip demand: {spiky}"
+    );
+}

@@ -1,0 +1,210 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-crate invariants.
+
+use proptest::prelude::*;
+
+use fpb::pcm::{CellMapping, ChangeSet, DimmGeometry, IterationSampler, LineWrite, MlcLevel};
+use fpb::power::{Ledger, PowerManager, PowerPolicyConfig, WriteId};
+use fpb::sim::request::split_rounds;
+use fpb::types::{MlcWriteModel, PowerConfig, SimRng, Tokens};
+
+fn arb_level() -> impl Strategy<Value = MlcLevel> {
+    prop_oneof![
+        Just(MlcLevel::L00),
+        Just(MlcLevel::L01),
+        Just(MlcLevel::L10),
+        Just(MlcLevel::L11),
+    ]
+}
+
+fn arb_changes(max: usize) -> impl Strategy<Value = ChangeSet> {
+    prop::collection::btree_set(0u32..1024, 0..max).prop_flat_map(|cells| {
+        let n = cells.len();
+        (
+            Just(cells),
+            prop::collection::vec(arb_level(), n..=n),
+        )
+            .prop_map(|(cells, levels)| {
+                cells
+                    .into_iter()
+                    .zip(levels)
+                    .collect::<ChangeSet>()
+            })
+    })
+}
+
+fn arb_mapping() -> impl Strategy<Value = CellMapping> {
+    prop_oneof![
+        Just(CellMapping::Naive),
+        Just(CellMapping::Vim),
+        Just(CellMapping::Bim),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every write's iteration schedule is internally consistent: per-chip
+    /// rows sum to the totals, demand never increases within the SET
+    /// phase, and the write finishes in exactly `total_iterations` steps.
+    #[test]
+    fn line_write_schedule_consistent(
+        changes in arb_changes(400),
+        mapping in arb_mapping(),
+        seed in 0u64..1000,
+        groups in 1u8..4,
+    ) {
+        let geom = DimmGeometry::new(8, 1024);
+        let sampler = IterationSampler::new(MlcWriteModel::default());
+        let mut rng = SimRng::seed_from(seed);
+        let mut w = LineWrite::new(&changes, &geom, mapping, &sampler, &mut rng, groups);
+        prop_assert_eq!(w.total_changed() as usize, changes.len());
+        let planned = w.total_iterations();
+        let mut steps = 0;
+        let mut last_set = u32::MAX;
+        while let Some(d) = w.next_demand() {
+            prop_assert_eq!(d.per_chip.iter().sum::<u32>(), d.active_cells);
+            if !d.kind.is_reset() {
+                prop_assert!(d.active_cells <= last_set);
+                last_set = d.active_cells;
+            }
+            w.advance();
+            steps += 1;
+            prop_assert!(steps <= planned);
+        }
+        prop_assert_eq!(steps, planned);
+        prop_assert!(w.is_complete());
+    }
+
+    /// Rounds partition the change set and each round fits its caps.
+    #[test]
+    fn split_rounds_partitions(
+        changes in arb_changes(1024),
+        cap_total in 32u64..600,
+        cap_chip in 16u64..80,
+        mapping in arb_mapping(),
+    ) {
+        let rounds = split_rounds(&changes, Some(cap_total), Some(cap_chip), mapping, 8);
+        let total: usize = rounds.iter().map(ChangeSet::len).sum();
+        prop_assert_eq!(total, changes.len());
+        for r in &rounds {
+            prop_assert!(r.len() as u64 <= cap_total);
+            let rc = mapping.distribute(r.iter().map(|&(c, _)| c), 8);
+            prop_assert!(
+                rc.iter().all(|&c| (c as u64) <= cap_chip),
+                "round chip demand {:?} over cap {}", rc, cap_chip
+            );
+        }
+        // All cells preserved (as a multiset of indices).
+        let mut orig: Vec<u32> = changes.iter().map(|&(c, _)| c).collect();
+        let mut got: Vec<u32> = rounds.iter().flat_map(|r| r.iter().map(|&(c, _)| c)).collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(orig, got);
+    }
+
+    /// Flat ledger: any sequence of grants and releases conserves tokens.
+    #[test]
+    fn flat_ledger_conserves(
+        requests in prop::collection::vec(1u64..200, 1..40),
+        budget in 100u64..800,
+    ) {
+        let mut ledger = Ledger::flat(budget);
+        let mut held = Vec::new();
+        for r in requests {
+            if let Some(g) = ledger.try_grant_flat(Tokens::from_cells(r)) {
+                held.push(g);
+            }
+            let outstanding: Tokens = held.iter().map(|g| g.flat).sum();
+            let avail = ledger.dimm_available().expect("flat has a budget");
+            prop_assert_eq!(avail + outstanding, Tokens::from_cells(budget));
+        }
+        for g in &held {
+            ledger.release(g);
+        }
+        prop_assert_eq!(ledger.dimm_available(), Some(Tokens::from_cells(budget)));
+    }
+
+    /// Chip ledger with GCP: failed grants change nothing; successful
+    /// grant/release round-trips restore the exact state.
+    #[test]
+    fn chip_ledger_grant_release_roundtrip(
+        demands in prop::collection::vec(0u64..80, 8..=8),
+        e_gcp in 0.3f64..0.95,
+    ) {
+        let mut ledger = Ledger::with_chips(560, 8, 66_500, 0.95, Some((e_gcp, 66_500)));
+        let before: Vec<Tokens> = (0..8).map(|i| ledger.chip_available(i)).collect();
+        let before_dimm = ledger.dimm_available();
+        let before_gcp = ledger.gcp_available();
+        let demand: Vec<Tokens> = demands.iter().map(|&d| Tokens::from_cells(d)).collect();
+        match ledger.try_grant_chips(&demand) {
+            Some(g) => {
+                ledger.release(&g);
+            }
+            None => {}
+        }
+        for i in 0..8 {
+            prop_assert_eq!(ledger.chip_available(i), before[i]);
+        }
+        prop_assert_eq!(ledger.dimm_available(), before_dimm);
+        prop_assert_eq!(ledger.gcp_available(), before_gcp);
+    }
+
+    /// The power manager completes any admissible write and restores the
+    /// full budget, for every scheme.
+    #[test]
+    fn manager_roundtrip_for_all_schemes(
+        changes in arb_changes(300),
+        seed in 0u64..500,
+        scheme_idx in 0usize..5,
+    ) {
+        let power = PowerConfig::default();
+        let cfg = match scheme_idx {
+            0 => PowerPolicyConfig::ideal(&power, 8),
+            1 => PowerPolicyConfig::dimm_only(&power, 8),
+            2 => PowerPolicyConfig::dimm_chip(&power, 8),
+            3 => PowerPolicyConfig::gcp_ipm(&power, 8),
+            _ => PowerPolicyConfig::fpb(&power, 8),
+        };
+        let geom = DimmGeometry::new(8, 1024);
+        let sampler = IterationSampler::new(MlcWriteModel::default());
+        let mut rng = SimRng::seed_from(seed);
+        // Keep the write within every scheme's worst-case caps.
+        let bounded: ChangeSet = changes.iter().take(250).cloned().collect();
+        let per_chip_ok = CellMapping::Bim
+            .distribute(bounded.iter().map(|&(c, _)| c), 8)
+            .into_iter()
+            .all(|c| c <= 66);
+        prop_assume!(per_chip_ok);
+        let mut w = LineWrite::new(&bounded, &geom, CellMapping::Bim, &sampler, &mut rng, 1);
+        let mut pm = PowerManager::new(cfg, &geom);
+        let id = WriteId::new(1);
+        prop_assert!(pm.try_admit(id, &mut w), "solo admissible write refused");
+        loop {
+            w.advance();
+            if w.is_complete() {
+                pm.release(id);
+                break;
+            }
+            prop_assert!(pm.try_advance(id, &w), "solo write stalled");
+        }
+        if let Some(avail) = pm.ledger().dimm_available() {
+            prop_assert_eq!(avail, Tokens::from_cells(560));
+        }
+    }
+
+    /// Tokens arithmetic: efficiency conversions are conservative in both
+    /// directions (no free energy).
+    #[test]
+    fn token_efficiency_is_lossy_not_creative(
+        cells in 1u64..2000,
+        eff in 0.05f64..1.0,
+    ) {
+        let t = Tokens::from_cells(cells);
+        let raw = t.scale_up(eff);
+        prop_assert!(raw >= t);
+        let usable = raw.scale_down(eff);
+        prop_assert!(usable >= t.saturating_sub(Tokens::from_millis(1)));
+        prop_assert!(usable <= raw);
+    }
+}
