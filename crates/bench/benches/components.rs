@@ -57,7 +57,7 @@ fn bench_ledger(c: &mut Criterion) {
     c.bench_function("core/ledger_grant_release", |b| {
         b.iter(|| {
             let g = ledger.try_grant_chips(black_box(&demand)).expect("fits");
-            ledger.release(&g);
+            ledger.release(&g).unwrap();
         })
     });
 

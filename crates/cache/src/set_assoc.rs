@@ -83,7 +83,7 @@ impl SetAssocCache {
         if ways == 0 {
             return Err(ConfigError::new("cache.ways", "must be nonzero"));
         }
-        if capacity_bytes == 0 || capacity_bytes % (line_bytes * ways as u64) != 0 {
+        if capacity_bytes == 0 || !capacity_bytes.is_multiple_of(line_bytes * ways as u64) {
             return Err(ConfigError::new(
                 "cache.capacity_bytes",
                 "must be a nonzero multiple of line_bytes * ways",
@@ -288,7 +288,7 @@ mod tests {
             })
         );
         let r = c.access(6 * 64, false); // evicts line 2, clean
-        assert_eq!(r.victim.unwrap().dirty, false);
+        assert!(!r.victim.unwrap().dirty);
         assert_eq!(c.stats().dirty_evictions(), 1);
     }
 
@@ -318,11 +318,11 @@ mod tests {
     fn distinct_sets_do_not_interfere() {
         let mut c = small();
         // Fill set 0 beyond capacity; set 1 lines must stay resident.
-        c.access(1 * 64, false); // set 1
+        c.access(64, false); // set 1
         for i in 0..10u64 {
             c.access(i * 2 * 64, false); // all set 0
         }
-        assert!(c.probe(1 * 64));
+        assert!(c.probe(64));
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub fn raw_pump_tokens(usable: u64, eff: f64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

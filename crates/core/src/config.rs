@@ -270,6 +270,7 @@ impl std::fmt::Display for SchemeKind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

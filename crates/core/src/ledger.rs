@@ -12,7 +12,7 @@
 //!    chip headroom into usable power for hot chips at `E_GCP` (Eq. 5),
 //!    capped at one LCP's output.
 
-use fpb_types::Tokens;
+use fpb_types::{LedgerDomain, LedgerError, Tokens};
 
 /// Multiplies `t` by an efficiency in `(0, 1]`, rounding **up** — used when
 /// the result is an obligation (borrowed power) that must not be
@@ -51,6 +51,31 @@ impl Grant {
     }
 }
 
+/// Tokens withheld from every domain while a charge-pump brownout is in
+/// force (see [`Ledger::begin_brownout`]).
+///
+/// The hold records *exactly* what was deducted, per domain, so ending the
+/// brownout restores the ledger bit-for-bit — conservation holds even when
+/// a window begins while grants are outstanding.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BrownoutHold {
+    /// Raw DIMM tokens withheld.
+    pub dimm: Tokens,
+    /// Usable tokens withheld from each chip's local pump.
+    pub chips: Vec<Tokens>,
+    /// Usable GCP capacity withheld.
+    pub gcp: Tokens,
+}
+
+impl BrownoutHold {
+    /// Total millitokens withheld across all domains (for metrics).
+    pub fn total_millis(&self) -> u64 {
+        self.dimm.millis()
+            + self.chips.iter().map(|t| t.millis()).sum::<u64>()
+            + self.gcp.millis()
+    }
+}
+
 /// The live token ledger.
 ///
 /// # Examples
@@ -63,7 +88,7 @@ impl Grant {
 /// let mut l = Ledger::flat(80);
 /// let g = l.try_grant_flat(Tokens::from_cells(50)).unwrap();
 /// assert!(l.try_grant_flat(Tokens::from_cells(40)).is_none());
-/// l.release(&g);
+/// l.release(&g).unwrap();
 /// assert!(l.try_grant_flat(Tokens::from_cells(40)).is_some());
 /// ```
 #[derive(Debug, Clone)]
@@ -81,6 +106,8 @@ pub struct Ledger {
     /// Effective GCP efficiency per chip (uniform without per-chip
     /// regulation; see `GcpParams::chip_efficiencies`).
     e_gcp: Vec<f64>,
+    /// Tokens currently withheld by an active brownout window.
+    brownout: Option<BrownoutHold>,
 }
 
 impl Ledger {
@@ -95,6 +122,7 @@ impl Ledger {
             gcp_cap: Tokens::ZERO,
             e_lcp: 1.0,
             e_gcp: Vec::new(),
+            brownout: None,
         }
     }
 
@@ -146,6 +174,7 @@ impl Ledger {
             gcp_cap,
             e_lcp,
             e_gcp,
+            brownout: None,
         }
     }
 
@@ -320,32 +349,203 @@ impl Ledger {
 
     /// Returns a grant's tokens to the ledger.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if releasing would exceed a capacity
-    /// (double release).
-    pub fn release(&mut self, grant: &Grant) {
+    /// On an over-release (more tokens coming back than are outstanding —
+    /// i.e. a double release), the budget is clamped at capacity and the
+    /// first violated domain is reported; the ledger stays internally
+    /// consistent either way. Capacity here accounts for any tokens a
+    /// brownout window is currently withholding, so releasing a
+    /// pre-brownout grant during a window is not a false positive.
+    pub fn release(&mut self, grant: &Grant) -> Result<(), LedgerError> {
+        let mut first_err: Option<LedgerError> = None;
+        let mut violate = |domain, released: Tokens, headroom: Tokens| {
+            if first_err.is_none() {
+                first_err = Some(LedgerError::OverRelease {
+                    domain,
+                    released_millis: released.millis(),
+                    headroom_millis: headroom.millis(),
+                });
+            }
+        };
+        let hold = self.brownout.clone().unwrap_or_default();
         if let Some(avail) = self.dimm_avail {
+            let cap = self.dimm_cap.saturating_sub(hold.dimm);
             let back = avail + grant.dimm_raw;
-            debug_assert!(back <= self.dimm_cap, "DIMM over-release");
-            self.dimm_avail = Some(back.min(self.dimm_cap));
+            if back > cap {
+                violate(LedgerDomain::Dimm, grant.dimm_raw, cap.saturating_sub(avail));
+            }
+            self.dimm_avail = Some(back.min(cap));
         }
         for i in 0..grant.lcp.len() {
-            let back = self.chips_avail[i] + grant.lcp[i] + grant.borrowed[i];
-            debug_assert!(back <= self.chip_cap, "chip {i} over-release");
-            self.chips_avail[i] = back.min(self.chip_cap);
+            let held = hold.chips.get(i).copied().unwrap_or(Tokens::ZERO);
+            let cap = self.chip_cap.saturating_sub(held);
+            let returned = grant.lcp[i] + grant.borrowed[i];
+            let back = self.chips_avail[i] + returned;
+            if back > cap {
+                violate(
+                    LedgerDomain::Chip(i),
+                    returned,
+                    cap.saturating_sub(self.chips_avail[i]),
+                );
+            }
+            self.chips_avail[i] = back.min(cap);
         }
         if !grant.gcp_total.is_zero() {
             if let Some(avail) = self.gcp_avail {
+                let cap = self.gcp_cap.saturating_sub(hold.gcp);
                 let back = avail + grant.gcp_total;
-                debug_assert!(back <= self.gcp_cap, "GCP over-release");
-                self.gcp_avail = Some(back.min(self.gcp_cap));
+                if back > cap {
+                    violate(LedgerDomain::Gcp, grant.gcp_total, cap.saturating_sub(avail));
+                }
+                self.gcp_avail = Some(back.min(cap));
             }
         }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Enters a brownout window: every budgeted domain is shrunk to
+    /// `keep_fraction` of its capacity by withholding tokens from its
+    /// *current availability* (§2.1.2–§2.1.3 model the charge pumps as the
+    /// scarce supply; a sag hits all of them).
+    ///
+    /// Only currently-available tokens are withheld — in-flight grants
+    /// cannot be clawed back, so a window starting under load sheds less
+    /// than the nominal amount. The exact deduction is recorded and
+    /// returned to the ledger by [`Ledger::end_brownout`]. Calling this
+    /// while a window is already in force is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `[0, 1]`.
+    pub fn begin_brownout(&mut self, keep_fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&keep_fraction),
+            "keep_fraction must be in [0, 1]"
+        );
+        if self.brownout.is_some() {
+            return;
+        }
+        let shed = 1.0 - keep_fraction;
+        let target = |cap: Tokens| Tokens::from_millis((cap.millis() as f64 * shed).round() as u64);
+        let mut hold = BrownoutHold {
+            chips: vec![Tokens::ZERO; self.chips_avail.len()],
+            ..BrownoutHold::default()
+        };
+        if let Some(avail) = self.dimm_avail {
+            let w = target(self.dimm_cap).min(avail);
+            self.dimm_avail = Some(avail.saturating_sub(w));
+            hold.dimm = w;
+        }
+        for (i, avail) in self.chips_avail.iter_mut().enumerate() {
+            let w = target(self.chip_cap).min(*avail);
+            *avail = avail.saturating_sub(w);
+            hold.chips[i] = w;
+        }
+        if let Some(avail) = self.gcp_avail {
+            let w = target(self.gcp_cap).min(avail);
+            self.gcp_avail = Some(avail.saturating_sub(w));
+            hold.gcp = w;
+        }
+        self.brownout = Some(hold);
+    }
+
+    /// Ends the brownout window, returning exactly the withheld tokens to
+    /// each domain. A no-op when no window is in force.
+    pub fn end_brownout(&mut self) {
+        let Some(hold) = self.brownout.take() else {
+            return;
+        };
+        if let Some(avail) = self.dimm_avail {
+            self.dimm_avail = Some(avail + hold.dimm);
+        }
+        for (avail, &w) in self.chips_avail.iter_mut().zip(hold.chips.iter()) {
+            *avail += w;
+        }
+        if let Some(avail) = self.gcp_avail {
+            self.gcp_avail = Some(avail + hold.gcp);
+        }
+    }
+
+    /// True while a brownout window is withholding tokens.
+    pub fn in_brownout(&self) -> bool {
+        self.brownout.is_some()
+    }
+
+    /// The tokens the active brownout window is withholding, if any.
+    pub fn brownout_hold(&self) -> Option<&BrownoutHold> {
+        self.brownout.as_ref()
+    }
+
+    /// Verifies token conservation: for every budgeted domain,
+    /// `available + outstanding + withheld` must equal capacity exactly.
+    ///
+    /// The caller supplies the outstanding sums from its grant records
+    /// (`outstanding_chips[i]` is chip `i`'s LCP *plus borrowed* tokens
+    /// across all held grants). Unlimited domains are exempt. Returns the
+    /// first domain whose books do not balance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if chip budgets are enforced and `outstanding_chips` length
+    /// differs from the chip count.
+    pub fn audit(
+        &self,
+        outstanding_dimm_raw: Tokens,
+        outstanding_chips: &[Tokens],
+        outstanding_gcp: Tokens,
+    ) -> Result<(), LedgerError> {
+        let hold = self.brownout.clone().unwrap_or_default();
+        if let Some(avail) = self.dimm_avail {
+            let actual = avail + outstanding_dimm_raw + hold.dimm;
+            if actual != self.dimm_cap {
+                return Err(LedgerError::Unbalanced {
+                    domain: LedgerDomain::Dimm,
+                    expected_millis: self.dimm_cap.millis(),
+                    actual_millis: actual.millis(),
+                });
+            }
+        }
+        if self.has_chip_budgets() {
+            assert_eq!(
+                outstanding_chips.len(),
+                self.chips_avail.len(),
+                "chip count mismatch"
+            );
+            for (i, (&avail, &out)) in self
+                .chips_avail
+                .iter()
+                .zip(outstanding_chips.iter())
+                .enumerate()
+            {
+                let held = hold.chips.get(i).copied().unwrap_or(Tokens::ZERO);
+                let actual = avail + out + held;
+                if actual != self.chip_cap {
+                    return Err(LedgerError::Unbalanced {
+                        domain: LedgerDomain::Chip(i),
+                        expected_millis: self.chip_cap.millis(),
+                        actual_millis: actual.millis(),
+                    });
+                }
+            }
+        }
+        if let Some(avail) = self.gcp_avail {
+            let actual = avail + outstanding_gcp + hold.gcp;
+            if actual != self.gcp_cap {
+                return Err(LedgerError::Unbalanced {
+                    domain: LedgerDomain::Gcp,
+                    expected_millis: self.gcp_cap.millis(),
+                    actual_millis: actual.millis(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -366,8 +566,8 @@ mod tests {
         assert!(l.try_grant_flat(t(40)).is_none());
         let b = l.try_grant_flat(t(30)).unwrap();
         assert_eq!(l.dimm_available(), Some(Tokens::ZERO));
-        l.release(&a);
-        l.release(&b);
+        l.release(&a).unwrap();
+        l.release(&b).unwrap();
         assert_eq!(l.dimm_available(), Some(t(80)));
     }
 
@@ -444,7 +644,7 @@ mod tests {
         let hold = l.try_grant_chips(&[t(10), t(10)]).unwrap();
         // Now any GCP use has nothing to borrow from.
         assert!(l.try_grant_chips(&[t(1), Tokens::ZERO]).is_none());
-        l.release(&hold);
+        l.release(&hold).unwrap();
         assert!(l.try_grant_chips(&[t(1), Tokens::ZERO]).is_some());
     }
 
@@ -457,7 +657,7 @@ mod tests {
         // Chip 1 alone could serve 20 more, but DIMM raw has only 10 left.
         assert!(l.try_grant_chips(&[Tokens::ZERO, t(20)]).is_none());
         assert!(l.try_grant_chips(&[Tokens::ZERO, t(10)]).is_some());
-        l.release(&a);
+        l.release(&a).unwrap();
     }
 
     #[test]
@@ -473,8 +673,8 @@ mod tests {
         d2[3] = t(4);
         let g2 = l.try_grant_chips(&d2).unwrap();
         assert!(g2.used_gcp());
-        l.release(&g2);
-        l.release(&g1);
+        l.release(&g2).unwrap();
+        l.release(&g1).unwrap();
         assert_eq!(l.dimm_available().unwrap(), before_dimm);
         for (i, before) in before_chips.iter().enumerate() {
             assert_eq!(l.chip_available(i), *before, "chip {i}");
@@ -498,10 +698,10 @@ mod tests {
     #[test]
     fn zero_demand_grant_is_free() {
         let mut l = baseline(None);
-        let g = l.try_grant_chips(&vec![Tokens::ZERO; 8]).unwrap();
+        let g = l.try_grant_chips(&[Tokens::ZERO; 8]).unwrap();
         assert!(!g.used_gcp());
         assert!(g.dimm_raw.is_zero());
-        l.release(&g);
+        l.release(&g).unwrap();
     }
 
     #[test]
@@ -542,5 +742,123 @@ mod tests {
     fn wrong_chip_count_panics() {
         let mut l = baseline(None);
         let _ = l.try_grant_chips(&[Tokens::ZERO; 4]);
+    }
+
+    #[test]
+    fn double_release_reports_domain_and_clamps() {
+        let mut l = Ledger::flat(80);
+        let g = l.try_grant_flat(t(50)).unwrap();
+        l.release(&g).unwrap();
+        let err = l.release(&g).unwrap_err();
+        match err {
+            LedgerError::OverRelease {
+                domain,
+                released_millis,
+                headroom_millis,
+            } => {
+                assert_eq!(domain, LedgerDomain::Dimm);
+                assert_eq!(released_millis, 50_000);
+                assert_eq!(headroom_millis, 0);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The budget is clamped, not corrupted.
+        assert_eq!(l.dimm_available(), Some(t(80)));
+    }
+
+    #[test]
+    fn chip_double_release_names_the_chip() {
+        let mut l = baseline(None);
+        let mut demand_a = vec![Tokens::ZERO; 8];
+        demand_a[0] = t(5);
+        let a = l.try_grant_chips(&demand_a).unwrap();
+        // A second grant keeps DIMM headroom below A's raw draw, so the
+        // double release overflows only chip 0 — the error names it.
+        let mut demand_b = vec![Tokens::ZERO; 8];
+        demand_b[1] = t(10);
+        let _b = l.try_grant_chips(&demand_b).unwrap();
+        l.release(&a).unwrap();
+        match l.release(&a).unwrap_err() {
+            LedgerError::OverRelease { domain, .. } => {
+                assert_eq!(domain, LedgerDomain::Chip(0));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn brownout_withholds_and_restores_exactly() {
+        let mut l = baseline(Some((0.7, 66_500)));
+        assert!(!l.in_brownout());
+        l.begin_brownout(0.5);
+        assert!(l.in_brownout());
+        // Idle ledger: every domain drops to half its capacity.
+        assert_eq!(l.dimm_available(), Some(t(280)));
+        for i in 0..8 {
+            assert_eq!(l.chip_available(i), Tokens::from_millis(33_250), "chip {i}");
+        }
+        assert_eq!(l.gcp_available(), Some(Tokens::from_millis(33_250)));
+        let withheld = l.brownout_hold().unwrap().total_millis();
+        assert_eq!(withheld, 280_000 + 8 * 33_250 + 33_250);
+        // Re-entering is a no-op; ending restores every domain exactly.
+        l.begin_brownout(0.1);
+        assert_eq!(l.dimm_available(), Some(t(280)));
+        l.end_brownout();
+        assert!(!l.in_brownout());
+        assert_eq!(l.dimm_available(), Some(t(560)));
+        for i in 0..8 {
+            assert_eq!(l.chip_available(i), Tokens::from_millis(66_500), "chip {i}");
+        }
+        assert_eq!(l.gcp_available(), Some(Tokens::from_millis(66_500)));
+    }
+
+    #[test]
+    fn brownout_under_load_never_underflows_and_conserves() {
+        let mut l = baseline(None);
+        // Hold most of the budget, then brown out to zero: only what is
+        // actually available can be withheld.
+        let g = l.try_grant_chips(&[t(60); 8]).unwrap();
+        let chip_left = l.chip_available(0);
+        l.begin_brownout(0.0);
+        assert_eq!(l.chip_available(0), Tokens::ZERO);
+        assert_eq!(l.brownout_hold().unwrap().chips[0], chip_left);
+        // Releasing the pre-brownout grant during the window is legal and
+        // must not trip the over-release check.
+        l.release(&g).unwrap();
+        l.end_brownout();
+        assert_eq!(l.dimm_available(), Some(t(560)));
+        for i in 0..8 {
+            assert_eq!(l.chip_available(i), Tokens::from_millis(66_500), "chip {i}");
+        }
+    }
+
+    #[test]
+    fn grants_respect_browned_out_budgets() {
+        let mut l = Ledger::flat(100);
+        l.begin_brownout(0.4);
+        assert!(l.try_grant_flat(t(50)).is_none(), "only 40 tokens remain");
+        let g = l.try_grant_flat(t(40)).unwrap();
+        l.release(&g).unwrap();
+        l.end_brownout();
+        assert!(l.try_grant_flat(t(50)).is_some());
+    }
+
+    #[test]
+    fn audit_balances_with_outstanding_grants() {
+        let mut l = baseline(Some((0.7, 66_500)));
+        let zeros = [Tokens::ZERO; 8];
+        l.audit(Tokens::ZERO, &zeros, Tokens::ZERO).unwrap();
+        let g = l.try_grant_chips(&[t(5); 8]).unwrap();
+        let outstanding: Vec<Tokens> = (0..8).map(|i| g.lcp[i] + g.borrowed[i]).collect();
+        l.audit(g.dimm_raw, &outstanding, g.gcp_total).unwrap();
+        // The audit also balances mid-brownout.
+        l.begin_brownout(0.5);
+        l.audit(g.dimm_raw, &outstanding, g.gcp_total).unwrap();
+        l.end_brownout();
+        // Claiming nothing is outstanding while a grant is held must fail.
+        let err = l.audit(Tokens::ZERO, &zeros, Tokens::ZERO).unwrap_err();
+        assert!(matches!(err, LedgerError::Unbalanced { .. }));
+        l.release(&g).unwrap();
+        l.audit(Tokens::ZERO, &zeros, Tokens::ZERO).unwrap();
     }
 }

@@ -41,6 +41,10 @@
 //! pm.release(id);
 //! ```
 
+// Budget bookkeeping must fail loudly through typed errors, not panics:
+// warn on every unwrap so new ones get justified in review.
+#![warn(clippy::unwrap_used)]
+
 pub mod budget;
 pub mod config;
 pub mod ledger;
@@ -48,6 +52,6 @@ pub mod manager;
 pub mod stats;
 
 pub use config::{GcpParams, PowerPolicyConfig, SchemeKind};
-pub use ledger::Ledger;
+pub use ledger::{BrownoutHold, Grant, Ledger};
 pub use manager::{PowerManager, WriteId};
 pub use stats::PowerStats;

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use fpb_pcm::{DimmGeometry, IterKind, LineWrite};
-use fpb_types::Tokens;
+use fpb_types::{LedgerError, Tokens};
 
 use crate::config::PowerPolicyConfig;
 use crate::ledger::{Grant, Ledger};
@@ -62,6 +62,11 @@ pub struct PowerManager {
     ledger: Ledger,
     holds: HashMap<WriteId, Grant>,
     stats: PowerStats,
+    /// When set, token conservation is re-verified after every grant and
+    /// release (see [`PowerManager::enable_audit`]).
+    audit: bool,
+    audit_violations: u64,
+    first_violation: Option<LedgerError>,
 }
 
 impl PowerManager {
@@ -100,7 +105,48 @@ impl PowerManager {
             ledger,
             holds: HashMap::new(),
             stats: PowerStats::default(),
+            audit: false,
+            audit_violations: 0,
+            first_violation: None,
         }
+    }
+
+    /// Turns on the runtime conservation auditor: after every grant and
+    /// release, the ledger's books are re-verified against the set of
+    /// outstanding holds ([`Ledger::audit`]). Violations are counted and
+    /// the first one kept — they indicate a budgeting bug, not a modeled
+    /// device fault, so the simulation keeps running and the caller checks
+    /// [`PowerManager::first_audit_violation`] at the end.
+    pub fn enable_audit(&mut self) {
+        self.audit = true;
+    }
+
+    /// Number of accounting violations observed (0 unless auditing).
+    pub fn audit_violations(&self) -> u64 {
+        self.audit_violations
+    }
+
+    /// The first accounting violation observed, if any.
+    pub fn first_audit_violation(&self) -> Option<&LedgerError> {
+        self.first_violation.as_ref()
+    }
+
+    /// Enters a brownout window on the underlying ledger, keeping
+    /// `keep_fraction` of every capacity (see [`Ledger::begin_brownout`]).
+    pub fn begin_brownout(&mut self, keep_fraction: f64) {
+        self.ledger.begin_brownout(keep_fraction);
+        self.audit_now();
+    }
+
+    /// Ends the brownout window, restoring withheld tokens exactly.
+    pub fn end_brownout(&mut self) {
+        self.ledger.end_brownout();
+        self.audit_now();
+    }
+
+    /// True while the ledger is withholding brownout tokens.
+    pub fn in_brownout(&self) -> bool {
+        self.ledger.in_brownout()
     }
 
     /// The policy configuration in force.
@@ -172,12 +218,19 @@ impl PowerManager {
 
     /// Releases everything a write holds (completion, cancellation, or
     /// pause). Safe to call when nothing is held.
+    ///
+    /// An over-release detected by the ledger is recorded as an audit
+    /// violation (the ledger clamps and stays consistent) rather than
+    /// propagated — release sites must always succeed in freeing the hold.
     pub fn release(&mut self, id: WriteId) {
         if let Some(grant) = self.holds.remove(&id) {
             if grant.used_gcp() {
                 self.stats.note_gcp_release(grant.gcp_total);
             }
-            self.ledger.release(&grant);
+            if let Err(e) = self.ledger.release(&grant) {
+                self.record_violation(e);
+            }
+            self.audit_now();
         }
     }
 
@@ -218,9 +271,42 @@ impl PowerManager {
                     self.stats.note_gcp_grant(g.gcp_total, g.gcp_raw);
                 }
                 self.holds.insert(id, g);
+                self.audit_now();
                 true
             }
             None => false,
+        }
+    }
+
+    /// Re-verifies conservation against the outstanding holds (no-op
+    /// unless auditing is enabled).
+    fn audit_now(&mut self) {
+        if !self.audit {
+            return;
+        }
+        let chips = self.cfg.chips as usize;
+        let mut dimm = Tokens::ZERO;
+        let mut per_chip = vec![Tokens::ZERO; chips];
+        let mut gcp = Tokens::ZERO;
+        for grant in self.holds.values() {
+            dimm += grant.dimm_raw;
+            gcp += grant.gcp_total;
+            for (acc, (&l, &b)) in per_chip
+                .iter_mut()
+                .zip(grant.lcp.iter().zip(grant.borrowed.iter()))
+            {
+                *acc += l + b;
+            }
+        }
+        if let Err(e) = self.ledger.audit(dimm, &per_chip, gcp) {
+            self.record_violation(e);
+        }
+    }
+
+    fn record_violation(&mut self, e: LedgerError) {
+        self.audit_violations += 1;
+        if self.first_violation.is_none() {
+            self.first_violation = Some(e);
         }
     }
 
@@ -272,6 +358,7 @@ impl PowerManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpb_pcm::{CellMapping, ChangeSet, IterationSampler, MlcLevel};

@@ -93,6 +93,13 @@ impl EnduranceTracker {
         self.per_chip.iter().sum()
     }
 
+    /// Cells written so far in the wear region containing `line` (the wear
+    /// signal endurance-triggered fault models key off).
+    pub fn region_cells_written(&self, line: LineAddr) -> u64 {
+        let region = (line.get() / self.lines_per_region) as usize % self.per_region.len();
+        self.per_region[region]
+    }
+
     /// `(region index, cells written)` of the most-worn region.
     pub fn hottest_region(&self) -> (usize, u64) {
         self.per_region

@@ -41,6 +41,7 @@
 pub mod cell;
 pub mod drift;
 pub mod endurance;
+pub mod faults;
 pub mod charge_pump;
 pub mod geometry;
 pub mod line_write;
@@ -54,6 +55,7 @@ mod proptests;
 pub use cell::MlcLevel;
 pub use drift::DriftModel;
 pub use endurance::EnduranceTracker;
+pub use faults::FaultInjector;
 pub use charge_pump::ChargePump;
 pub use geometry::DimmGeometry;
 pub use line_write::{ChangeSet, IterKind, IterationDemand, LineWrite};

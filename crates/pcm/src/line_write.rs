@@ -421,6 +421,21 @@ impl LineWrite {
         }
     }
 
+    /// Degrades this write to its SLC fallback form: the RESET pulse(s)
+    /// still fire, but the multi-level program-and-verify SET schedule is
+    /// dropped — the data is committed in single-bit form (to a spare SLC
+    /// region or as the MSB-only encoding), which needs no iterative
+    /// verification. Used by the controller's graceful-degradation path
+    /// when retries are exhausted or the DIMM is in degraded mode.
+    ///
+    /// Safe at any point in the write's life: if the SET phase had already
+    /// begun, the write completes at the end of its RESET phase.
+    pub fn degrade_to_slc(&mut self) {
+        self.set_totals.clear();
+        self.set_per_chip.clear();
+        self.iters_done = self.iters_done.min(self.reset_groups as u32);
+    }
+
     /// Re-splits the RESET into `groups` group-iterations (Multi-RESET,
     /// §3.2). Used by the power manager when a write cannot be admitted
     /// whole: splitting lowers the per-iteration RESET demand at the cost

@@ -44,6 +44,14 @@ pub enum BankState {
         /// When the wait began.
         since: Cycles,
     },
+    /// A write failed its round verify and is waiting out its retry
+    /// backoff before the round is re-issued (it holds no tokens).
+    Backoff {
+        /// The task to retry.
+        task: WriteTask,
+        /// When the backoff expires and re-admission is attempted.
+        until: Cycles,
+    },
     /// All cells converged, but a feedback-less memory controller cannot
     /// know that: the bank and its tokens stay occupied until the
     /// worst-case write time elapses (§2.1.1's argument for the bridge
@@ -76,6 +84,7 @@ impl BankState {
             BankState::Writing { .. }
                 | BankState::WriteStalled { .. }
                 | BankState::AwaitingRound { .. }
+                | BankState::Backoff { .. }
                 | BankState::Draining { .. }
         )
     }
@@ -86,12 +95,14 @@ impl BankState {
             BankState::Reading { done_at, .. } => Some(*done_at),
             BankState::Writing { iter_done_at, .. } => Some(*iter_done_at),
             BankState::Draining { until, .. } => Some(*until),
+            BankState::Backoff { until, .. } => Some(*until),
             _ => None,
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -133,6 +144,9 @@ mod tests {
             current_round: 0,
             pre_read_done: false,
             round_started_at: Cycles::ZERO,
+            retries: 0,
+            iterations_spent: 0,
+            watchdog_tripped: false,
         }
     }
 
@@ -148,6 +162,18 @@ mod tests {
         assert!(!s.accepts_write());
         assert!(s.has_write());
         assert_eq!(s.next_event(), Some(Cycles::new(500)));
+    }
+
+    #[test]
+    fn backoff_owns_the_bank_until_expiry() {
+        let s = BankState::Backoff {
+            task: dummy_task(),
+            until: Cycles::new(777),
+        };
+        assert!(s.has_write());
+        assert!(!s.accepts_read());
+        assert!(!s.accepts_write());
+        assert_eq!(s.next_event(), Some(Cycles::new(777)));
     }
 
     #[test]

@@ -11,9 +11,10 @@ use std::collections::VecDeque;
 
 use fpb_core::{PowerManager, WriteId};
 use fpb_pcm::{
-    DimmGeometry, EnduranceTracker, IntraLineWearLeveler, IterationSampler, IterKind, LineWrite,
+    DimmGeometry, EnduranceTracker, FaultInjector, IntraLineWearLeveler, IterationSampler,
+    IterKind, LineWrite,
 };
-use fpb_types::{MlcLevelModel, MlcWriteModel};
+use fpb_types::{MlcLevelModel, MlcWriteModel, SimError};
 use fpb_trace::Workload;
 use fpb_types::{Cycles, CoreId, LineAddr, SimRng, SystemConfig};
 
@@ -43,6 +44,11 @@ pub struct SimOptions {
     /// from a drift model). `None` disables scrubbing. Realistic periods
     /// are enormous (minutes); small values exist for stress testing.
     pub scrub_period_cycles: Option<u64>,
+    /// Run the power manager's token-conservation auditor after every
+    /// grant and release: violations are counted in
+    /// [`Metrics::faults`]`.audit_violations`. Off by default (the audit
+    /// re-sums every outstanding grant, which costs time).
+    pub audit_ledger: bool,
 }
 
 impl SimOptions {
@@ -54,6 +60,7 @@ impl SimOptions {
             warmup_accesses: None,
             full_hierarchy: false,
             scrub_period_cycles: None,
+            audit_ledger: false,
         }
     }
 }
@@ -104,6 +111,15 @@ pub struct System {
     recent_writes: VecDeque<LineAddr>,
     scrub_period: Option<u64>,
     next_scrub_at: Cycles,
+    /// Fault injector, present only when any fault knob is nonzero — a
+    /// fully disabled fault config leaves the engine bit-for-bit identical
+    /// to a build without the fault subsystem.
+    faults: Option<FaultInjector>,
+    /// When the current brownout window began (drives degraded mode).
+    brownout_since: Option<Cycles>,
+    /// Degraded mode: brownout persisted past the configured threshold, so
+    /// new writes are issued in SLC fallback until the window ends.
+    degraded: bool,
     metrics: Metrics,
 }
 
@@ -139,6 +155,33 @@ pub fn run_workload(
     opts: &SimOptions,
 ) -> Metrics {
     System::new(workload, cfg, setup, opts).run()
+}
+
+/// Like [`run_workload`] but returning engine failures (scheduling
+/// deadlocks, config errors) as [`SimError`] instead of panicking — the
+/// API for callers that must degrade gracefully, e.g. the CLI.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::{try_run_workload, SchemeSetup, SimOptions};
+/// use fpb_trace::catalog;
+/// use fpb_types::SystemConfig;
+///
+/// let cfg = SystemConfig::default();
+/// let wl = catalog::workload("xal_m").unwrap();
+/// let opts = SimOptions::with_instructions(30_000);
+/// let m = try_run_workload(&wl, &cfg, &SchemeSetup::fpb(&cfg), &opts).unwrap();
+/// assert_eq!(m.instructions_per_core, 30_000);
+/// ```
+pub fn try_run_workload(
+    workload: &Workload,
+    cfg: &SystemConfig,
+    setup: &SchemeSetup,
+    opts: &SimOptions,
+) -> Result<Metrics, SimError> {
+    cfg.validate()?;
+    System::new(workload, cfg, setup, opts).try_run()
 }
 
 /// Builds and warms the per-core front ends for a workload. Warm-up cost
@@ -221,7 +264,20 @@ impl System {
         cfg.validate().expect("invalid system config");
         let _ = workload;
         let geom = DimmGeometry::new(cfg.pcm.chips, cfg.pcm.cells_per_line());
-        let power = PowerManager::new(setup.policy.clone(), &geom);
+        let mut power = PowerManager::new(setup.policy.clone(), &geom);
+        if opts.audit_ledger {
+            power.enable_audit();
+        }
+        // The fault stream forks off its own fresh root so enabling or
+        // disabling injection can never perturb the data/write streams.
+        let faults = if cfg.faults.any_injection_enabled() {
+            Some(FaultInjector::new(
+                cfg.faults.clone(),
+                SimRng::seed_from(cfg.seed).fork(0xFA017),
+            ))
+        } else {
+            None
+        };
         // Round-splitting caps: a single round must be admissible against
         // an empty ledger. With chip budgets, the DIMM's raw budget only
         // yields pt_dimm x e_lcp usable tokens through the local pumps.
@@ -289,6 +345,9 @@ impl System {
             recent_writes: VecDeque::new(),
             scrub_period: opts.scrub_period_cycles,
             next_scrub_at: Cycles::new(opts.scrub_period_cycles.unwrap_or(u64::MAX)),
+            faults,
+            brownout_since: None,
+            degraded: false,
             metrics: Metrics {
                 instructions_per_core: opts.instructions_per_core,
                 cores: cfg.cores,
@@ -304,10 +363,19 @@ impl System {
     /// # Panics
     ///
     /// Panics on an internal scheduling deadlock (a bug, not a workload
-    /// property — round splitting guarantees forward progress).
-    pub fn run(mut self) -> Metrics {
-        while self.step() {}
-        self.finish()
+    /// property — round splitting guarantees forward progress). Use
+    /// [`System::try_run`] to get the failure as a value instead.
+    pub fn run(self) -> Metrics {
+        match self.try_run() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs to completion, returning engine failures as [`SimError`].
+    pub fn try_run(mut self) -> Result<Metrics, SimError> {
+        while self.try_step()? {}
+        Ok(self.finish())
     }
 
     /// Advances the simulation by one event round: process everything due
@@ -319,21 +387,60 @@ impl System {
     /// # Panics
     ///
     /// Panics on an internal scheduling deadlock (a bug, not a workload
-    /// property — round splitting guarantees forward progress).
+    /// property — round splitting guarantees forward progress). Use
+    /// [`System::try_step`] to get the failure as a value instead.
     pub fn step(&mut self) -> bool {
+        match self.try_step() {
+            Ok(more) => more,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`System::step`], returning a scheduling deadlock as
+    /// [`SimError::Deadlock`] instead of panicking.
+    pub fn try_step(&mut self) -> Result<bool, SimError> {
+        self.update_brownout();
         self.process_bank_events();
         self.process_core_arrivals();
         self.schedule();
         if self.cores.iter().all(|c| c.done) {
-            return false;
+            return Ok(false);
         }
-        let next = self
-            .next_event_time()
-            .expect("scheduling deadlock: work pending but no events");
+        let next = self.next_event_time().ok_or(SimError::Deadlock {
+            cycle: self.now.get(),
+            pending_writes: self.wrq.len() + self.overflow.len(),
+            pending_reads: self.rdq.len() + self.pending_reads.len(),
+        })?;
         debug_assert!(next > self.now, "time must advance");
         self.account(next);
         self.now = next;
-        true
+        Ok(true)
+    }
+
+    /// Applies brownout window transitions due at the current time:
+    /// withholds budget tokens at a window start, restores them at the
+    /// end, and enters/leaves degraded mode when a window persists past
+    /// `faults.degraded_after_cycles`.
+    fn update_brownout(&mut self) {
+        let Some(inj) = self.faults.as_ref() else {
+            return;
+        };
+        let active = inj.brownout_active(self.now);
+        if active && !self.power.in_brownout() {
+            self.power.begin_brownout(self.cfg.faults.brownout_budget_scale);
+            self.metrics.faults.brownout_windows += 1;
+            self.brownout_since = Some(self.now);
+        } else if !active && self.power.in_brownout() {
+            self.power.end_brownout();
+            self.brownout_since = None;
+            self.degraded = false;
+        }
+        if let Some(since) = self.brownout_since {
+            let threshold = self.cfg.faults.degraded_after_cycles;
+            if threshold > 0 && self.now.saturating_sub(since).get() >= threshold {
+                self.degraded = true;
+            }
+        }
     }
 
     /// Finalizes and returns the metrics (call after [`System::step`]
@@ -347,6 +454,11 @@ impl System {
             .unwrap_or(self.now)
             .get();
         self.metrics.power = self.power.stats().clone();
+        if let Some(inj) = self.faults.as_ref() {
+            self.metrics.faults.verify_failures = inj.verify_failures();
+            self.metrics.faults.stuck_lines_marked = inj.stuck_marked();
+        }
+        self.metrics.faults.audit_violations = self.power.audit_violations();
         self.metrics.endurance = Some(self.endurance);
         self.metrics
     }
@@ -414,6 +526,22 @@ impl System {
                         continue;
                     }
                     task.round_mut().advance();
+                    task.iterations_spent = task.iterations_spent.saturating_add(1);
+                    let wd = self.cfg.faults.watchdog_iterations;
+                    if self.faults.is_some()
+                        && wd > 0
+                        && !task.round().is_complete()
+                        && task.iterations_spent >= wd
+                    {
+                        // Watchdog: a round that burned this many
+                        // iterations (retry storms on a persistently
+                        // failing line) is force-closed so the bank and
+                        // its tokens cannot be held hostage.
+                        task.watchdog_tripped = true;
+                        self.metrics.faults.watchdog_trips += 1;
+                        self.finish_round(b, task);
+                        continue;
+                    }
                     if task.round().is_complete() {
                         self.finish_round(b, task);
                     } else if cancel_pending {
@@ -438,6 +566,18 @@ impl System {
                     // The assumed worst-case time has elapsed; the
                     // feedback-less controller finally frees the bank.
                     self.finish_round_now(b, task);
+                }
+                BankState::Backoff { mut task, .. } => {
+                    // Backoff expired: re-admit the restarted round.
+                    if self.power.try_admit(task.id, task.round_mut()) {
+                        task.round_started_at = self.now;
+                        self.start_iteration(b, task, false);
+                    } else {
+                        self.banks[b].state = BankState::AwaitingRound {
+                            task,
+                            since: self.now,
+                        };
+                    }
                 }
                 other => {
                     // Stalled/awaiting states carry no timed event.
@@ -540,7 +680,7 @@ impl System {
                         arrival: self.now,
                     });
                 }
-                self.next_scrub_at = self.next_scrub_at + Cycles::new(period);
+                self.next_scrub_at += Cycles::new(period);
             }
         }
         // 5. Reads first (never during a write burst).
@@ -710,18 +850,36 @@ impl System {
 
     fn finish_round_now(&mut self, bank: usize, mut task: WriteTask) {
         self.power.release(task.id);
+        // Device fault hook: the round's closing verify may fail (skipped
+        // when the watchdog already force-closed the round — it must free
+        // the bank unconditionally).
+        if !task.watchdog_tripped {
+            if let Some(inj) = self.faults.as_mut() {
+                if inj.round_fails_verify(task.line) {
+                    self.handle_verify_failure(bank, task);
+                    return;
+                }
+            }
+        }
         self.metrics.write_rounds += 1;
         if self.metrics.per_chip_cells.is_empty() {
             self.metrics.per_chip_cells = vec![0; self.cfg.pcm.chips as usize];
         }
         let per_chip = task.round().per_chip_changed();
         self.endurance.record_write(task.line, &per_chip);
+        if let Some(inj) = self.faults.as_mut() {
+            inj.note_write(task.line, &self.endurance);
+        }
         for (acc, c) in self.metrics.per_chip_cells.iter_mut().zip(per_chip) {
             *acc += c as u64;
         }
         if task.round().was_truncated() {
             self.metrics.truncations += 1;
         }
+        // The round closed: its recovery bookkeeping starts fresh.
+        task.retries = 0;
+        task.iterations_spent = 0;
+        task.watchdog_tripped = false;
         if task.next_round() {
             self.banks[bank].state = BankState::AwaitingRound {
                 task,
@@ -737,6 +895,43 @@ impl System {
                 self.recent_writes.push_back(task.line);
             }
             self.banks[bank].state = BankState::Idle;
+        }
+    }
+
+    /// A round's closing verify failed. Bounded recovery: retry the round
+    /// after an exponential backoff; once retries are exhausted, remap the
+    /// line to a spare and rewrite the round in SLC fallback mode (RESET
+    /// pulses only — single-level programming completes even on weak
+    /// cells).
+    fn handle_verify_failure(&mut self, bank: usize, mut task: WriteTask) {
+        let fcfg = &self.cfg.faults;
+        if task.retries < fcfg.max_retries {
+            task.retries += 1;
+            self.metrics.faults.retries += 1;
+            // Doubling backoff, shift-clamped so u8::MAX retries cannot
+            // overflow the cycle math.
+            let backoff = fcfg
+                .retry_backoff_cycles
+                .saturating_mul(1u64 << (u32::from(task.retries) - 1).min(16))
+                .max(1);
+            task.round_mut().restart();
+            self.banks[bank].state = BankState::Backoff {
+                task,
+                until: self.now + Cycles::new(backoff),
+            };
+        } else {
+            if let Some(inj) = self.faults.as_mut() {
+                inj.remap(task.line);
+            }
+            self.metrics.faults.remaps += 1;
+            self.metrics.faults.slc_fallbacks += 1;
+            task.retries = 0;
+            task.round_mut().restart();
+            task.round_mut().degrade_to_slc();
+            self.banks[bank].state = BankState::Backoff {
+                task,
+                until: self.now + Cycles::new(fcfg.retry_backoff_cycles.max(1)),
+            };
         }
     }
 
@@ -791,7 +986,7 @@ impl System {
             self.setup.mapping,
             chips,
         );
-        let rounds: Vec<LineWrite> = rounds_cs
+        let mut rounds: Vec<LineWrite> = rounds_cs
             .iter()
             .map(|cs| {
                 let w = LineWrite::new(
@@ -808,6 +1003,15 @@ impl System {
                 }
             })
             .collect();
+        if self.degraded {
+            // Degraded mode: a persistent brownout leaves too little power
+            // for full MLC program-and-verify, so new writes fall back to
+            // single-level programming (RESET pulses only).
+            for w in rounds.iter_mut() {
+                w.degrade_to_slc();
+            }
+            self.metrics.faults.degraded_writes += 1;
+        }
         self.next_write_id += 1;
         WriteTask {
             id: WriteId::new(self.next_write_id),
@@ -818,6 +1022,9 @@ impl System {
             current_round: 0,
             pre_read_done: false,
             round_started_at: Cycles::ZERO,
+            retries: 0,
+            iterations_spent: 0,
+            watchdog_tripped: false,
         }
     }
 
@@ -879,6 +1086,18 @@ impl System {
                 None => self.next_scrub_at,
             });
         }
+        // Brownout window edges are real events: tokens withheld at the
+        // start must be restored at the end, and a write refused under the
+        // shrunk budget only becomes admissible once the window closes —
+        // skipping the edge would deadlock it.
+        if let Some(inj) = self.faults.as_ref() {
+            if let Some(edge) = inj.next_brownout_boundary(self.now) {
+                next = Some(match next {
+                    Some(t) => t.min(edge),
+                    None => edge,
+                });
+            }
+        }
         next.map(|t| t.max(self.now + Cycles::new(1)))
     }
 
@@ -894,10 +1113,17 @@ impl System {
         if writing {
             self.metrics.write_active_cycles += delta;
         }
+        if self.power.in_brownout() {
+            self.metrics.faults.brownout_cycles += delta;
+        }
+        if self.degraded {
+            self.metrics.faults.degraded_cycles += delta;
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpb_pcm::CellMapping;

@@ -240,7 +240,7 @@ impl CoreState {
         }
         let mut regions = self.gen.tier_regions();
         regions.retain(|r| r.bytes <= llc_bytes);
-        regions.sort_by(|a, b| b.bytes.cmp(&a.bytes)); // smallest (hottest) last
+        regions.sort_by_key(|r| std::cmp::Reverse(r.bytes)); // smallest (hottest) last
         for r in regions {
             let mut off = 0;
             while off < r.bytes {
@@ -257,6 +257,7 @@ impl CoreState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpb_trace::catalog;

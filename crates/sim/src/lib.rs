@@ -29,6 +29,10 @@
 //! assert!(m.cycles > 0);
 //! ```
 
+// The engine's recovery paths exist so faults degrade service instead of
+// crashing it: warn on every unwrap so new ones get justified in review.
+#![warn(clippy::unwrap_used)]
+
 pub mod bank;
 pub mod engine;
 pub mod frontend;
@@ -39,8 +43,8 @@ pub mod setup;
 pub mod sweep;
 pub mod timeline;
 
-pub use engine::{run_workload, SimOptions, System};
-pub use metrics::Metrics;
+pub use engine::{run_workload, try_run_workload, SimOptions, System};
+pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};
 pub use setup::SchemeSetup;
 pub use timeline::Timeline;

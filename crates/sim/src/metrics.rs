@@ -55,6 +55,47 @@ pub struct Metrics {
     pub power: PowerStats,
     /// Wear accounting and lifetime projection for the run's writes.
     pub endurance: Option<fpb_pcm::EnduranceTracker>,
+    /// Fault-injection and recovery counters (all zero when injection is
+    /// disabled).
+    pub faults: FaultMetrics,
+}
+
+/// Counters for injected faults and the controller's recovery actions.
+///
+/// `PartialEq`/`Eq` so determinism tests can compare two runs directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Write rounds whose final verify failed (injected, including
+    /// deterministic failures on stuck lines).
+    pub verify_failures: u64,
+    /// Retry rounds issued in response to verify failures.
+    pub retries: u64,
+    /// Lines marked stuck-at by the endurance-triggered fault model.
+    pub stuck_lines_marked: u64,
+    /// Lines remapped to spares after retries were exhausted.
+    pub remaps: u64,
+    /// Rounds rewritten in SLC fallback mode (single-level programming on
+    /// weak cells).
+    pub slc_fallbacks: u64,
+    /// Rounds force-closed by the controller watchdog.
+    pub watchdog_trips: u64,
+    /// Brownout windows entered.
+    pub brownout_windows: u64,
+    /// Cycles spent with brownout-shrunk token budgets.
+    pub brownout_cycles: u64,
+    /// New writes issued in degraded (SLC) mode.
+    pub degraded_writes: u64,
+    /// Cycles spent in degraded mode.
+    pub degraded_cycles: u64,
+    /// Token-conservation violations found by the opt-in ledger auditor.
+    pub audit_violations: u64,
+}
+
+impl FaultMetrics {
+    /// True if any fault fired or any recovery action was taken.
+    pub fn any_activity(&self) -> bool {
+        *self != FaultMetrics::default()
+    }
 }
 
 impl Metrics {
@@ -160,6 +201,7 @@ pub fn gmean(xs: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

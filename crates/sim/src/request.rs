@@ -55,6 +55,15 @@ pub struct WriteTask {
     /// When the current round was admitted (drives the worst-case hold of
     /// the feedback-less-controller model).
     pub round_started_at: Cycles,
+    /// Verify-failure retries issued for the current round (reset when a
+    /// round passes verify).
+    pub retries: u8,
+    /// Iterations spent on the current round including all retries (the
+    /// watchdog's trip signal; reset when a round closes).
+    pub iterations_spent: u32,
+    /// True once the watchdog force-closed the current round — its final
+    /// verify is skipped so the bank is guaranteed to free up.
+    pub watchdog_tripped: bool,
 }
 
 impl WriteTask {
@@ -161,6 +170,7 @@ fn deal(by_chip: &[Vec<(u32, fpb_pcm::MlcLevel)>], k: usize) -> Vec<Vec<(u32, fp
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpb_pcm::MlcLevel;

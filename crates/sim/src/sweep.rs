@@ -12,12 +12,16 @@ use crate::metrics::Metrics;
 use crate::setup::SchemeSetup;
 use fpb_trace::Workload;
 
+/// One labeled variant of an axis: a point label and the configuration
+/// transformer that produces it.
+pub type Variant = (String, Box<dyn Fn(SystemConfig) -> SystemConfig>);
+
 /// One axis of a sweep: a label and a configuration transformer.
 pub struct Axis {
     /// Axis name (becomes part of each point's label).
     pub name: &'static str,
     /// Labeled configuration variants.
-    pub variants: Vec<(String, Box<dyn Fn(SystemConfig) -> SystemConfig>)>,
+    pub variants: Vec<Variant>,
 }
 
 impl std::fmt::Debug for Axis {
@@ -183,6 +187,7 @@ pub fn run_sweep(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpb_trace::catalog;

@@ -158,6 +158,7 @@ impl Timeline {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::setup::SchemeSetup;

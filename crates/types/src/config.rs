@@ -36,6 +36,9 @@ pub struct SystemConfig {
     pub pcm: PcmConfig,
     /// Power-budget parameters.
     pub power: PowerConfig,
+    /// Fault-injection and recovery parameters (all injection knobs zero in
+    /// the baseline, so the fault paths are completely inert by default).
+    pub faults: FaultConfig,
 }
 
 impl Default for SystemConfig {
@@ -47,6 +50,7 @@ impl Default for SystemConfig {
             queues: QueueConfig::default(),
             pcm: PcmConfig::default(),
             power: PowerConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -69,6 +73,7 @@ impl SystemConfig {
         self.queues.validate()?;
         self.pcm.validate()?;
         self.power.validate()?;
+        self.faults.validate()?;
         if self.pcm.line_bytes != self.cache.l3_line_bytes {
             return Err(ConfigError::new(
                 "pcm.line_bytes",
@@ -78,7 +83,7 @@ impl SystemConfig {
                 ),
             ));
         }
-        if self.pcm.cells_per_line() % self.pcm.chips as u32 != 0 {
+        if !self.pcm.cells_per_line().is_multiple_of(self.pcm.chips as u32) {
             return Err(ConfigError::new(
                 "pcm.chips",
                 "cells per line must divide evenly across chips",
@@ -127,6 +132,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given fault-injection parameters.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -524,6 +536,159 @@ impl PowerConfig {
     }
 }
 
+/// Fault-injection and graceful-degradation parameters.
+///
+/// Models the reliability hazards the paper's device physics imply
+/// (§2.1.1: program-and-verify is non-deterministic; §2.1.2–2.1.3: charge
+/// pumps are the fragile shared resource):
+///
+/// * **Verify failures** — a completed program-and-verify round reports
+///   unconverged cells with probability [`verify_fail_prob`] and must be
+///   re-issued by the controller.
+/// * **Stuck-at faults** — once a line's wear region has absorbed
+///   [`stuck_wear_threshold`] cell-writes, each further write sticks the
+///   line with probability [`stuck_cell_prob`]; stuck lines fail every
+///   verify until the controller remaps them to a spare.
+/// * **Charge-pump brownout** — every [`brownout_period`] cycles the
+///   DIMM's power delivery sags for [`brownout_duration`] cycles, leaving
+///   only [`brownout_budget_scale`] of every token budget usable.
+///
+/// The remaining fields tune the controller's recovery behavior (bounded
+/// retry-with-backoff, watchdog termination, degraded mode). With every
+/// injection knob at zero — the default — no fault code runs and no RNG
+/// stream is consumed, so baseline results are bit-identical to a build
+/// without the subsystem.
+///
+/// [`verify_fail_prob`]: FaultConfig::verify_fail_prob
+/// [`stuck_cell_prob`]: FaultConfig::stuck_cell_prob
+/// [`stuck_wear_threshold`]: FaultConfig::stuck_wear_threshold
+/// [`brownout_period`]: FaultConfig::brownout_period
+/// [`brownout_duration`]: FaultConfig::brownout_duration
+/// [`brownout_budget_scale`]: FaultConfig::brownout_budget_scale
+///
+/// # Examples
+///
+/// ```
+/// use fpb_types::FaultConfig;
+///
+/// let f = FaultConfig::default();
+/// assert!(!f.any_injection_enabled());
+///
+/// let f = FaultConfig {
+///     verify_fail_prob: 0.01,
+///     ..FaultConfig::default()
+/// };
+/// assert!(f.any_injection_enabled());
+/// f.validate().expect("valid");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a completed write round fails its final verify and
+    /// must be re-issued (0 disables verify-failure injection).
+    pub verify_fail_prob: f64,
+    /// Probability that a write to a worn line leaves it stuck
+    /// (0 disables stuck-at injection).
+    pub stuck_cell_prob: f64,
+    /// Wear-region cell-write count after which stuck-at faults can
+    /// trigger. Lines in younger regions never stick.
+    pub stuck_wear_threshold: u64,
+    /// Cycles between the starts of successive brownout windows
+    /// (0 disables brownouts).
+    pub brownout_period: u64,
+    /// Length of each brownout window in cycles (0 disables brownouts;
+    /// must be shorter than the period).
+    pub brownout_duration: u64,
+    /// Fraction of every token budget that stays usable during a brownout.
+    pub brownout_budget_scale: f64,
+    /// Maximum controller retries of a failed round before the line is
+    /// remapped and the write degrades to SLC.
+    pub max_retries: u8,
+    /// Base backoff before the first retry, in cycles; doubles on each
+    /// further retry of the same round.
+    pub retry_backoff_cycles: u64,
+    /// Watchdog limit on total write iterations (original + retried) a
+    /// single line write may consume before it is forcibly terminated
+    /// (0 disables the watchdog).
+    pub watchdog_iterations: u32,
+    /// Consecutive browned-out cycles after which the controller enters
+    /// `DegradedMode` and commits writes in SLC form (0 = never degrade).
+    pub degraded_after_cycles: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            verify_fail_prob: 0.0,
+            stuck_cell_prob: 0.0,
+            stuck_wear_threshold: 0,
+            brownout_period: 0,
+            brownout_duration: 0,
+            brownout_budget_scale: 0.5,
+            max_retries: 3,
+            retry_backoff_cycles: 1000,
+            watchdog_iterations: 256,
+            degraded_after_cycles: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when any fault *injection* is configured. Recovery knobs alone
+    /// (retries, watchdog) do not count: with nothing injected they are
+    /// unreachable.
+    pub fn any_injection_enabled(&self) -> bool {
+        self.verify_fail_prob > 0.0
+            || self.stuck_cell_prob > 0.0
+            || self.brownouts_enabled()
+    }
+
+    /// True when periodic brownout windows are configured.
+    pub fn brownouts_enabled(&self) -> bool {
+        self.brownout_period > 0 && self.brownout_duration > 0
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, p) in [
+            ("faults.verify_fail_prob", self.verify_fail_prob),
+            ("faults.stuck_cell_prob", self.stuck_cell_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::new(field, "must be a probability in [0, 1]"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.brownout_budget_scale) {
+            return Err(ConfigError::new(
+                "faults.brownout_budget_scale",
+                "must be in [0, 1]",
+            ));
+        }
+        if self.brownout_duration > 0 && self.brownout_period == 0 {
+            return Err(ConfigError::new(
+                "faults.brownout_period",
+                "must be nonzero when a brownout duration is set",
+            ));
+        }
+        if self.brownout_period > 0 && self.brownout_duration >= self.brownout_period {
+            return Err(ConfigError::new(
+                "faults.brownout_duration",
+                "must be shorter than the brownout period",
+            ));
+        }
+        if self.stuck_cell_prob > 0.0 && self.stuck_wear_threshold == 0 {
+            return Err(ConfigError::new(
+                "faults.stuck_wear_threshold",
+                "must be nonzero when stuck-at injection is enabled",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,9 +785,45 @@ mod tests {
         c.pcm.bits_per_cell = 3;
         assert!(c.validate().is_err());
 
-        let mut c = SystemConfig::default();
-        c.cores = 0;
+        let c = SystemConfig {
+            cores: 0,
+            ..SystemConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().field(), "cores");
+    }
+
+    #[test]
+    fn fault_config_validation() {
+        let mut c = SystemConfig::default();
+        assert!(!c.faults.any_injection_enabled());
+        c.validate().unwrap();
+
+        c.faults.verify_fail_prob = 1.5;
+        assert_eq!(
+            c.validate().unwrap_err().field(),
+            "faults.verify_fail_prob"
+        );
+
+        let mut c = SystemConfig::default();
+        c.faults.brownout_period = 100;
+        c.faults.brownout_duration = 100;
+        assert_eq!(
+            c.validate().unwrap_err().field(),
+            "faults.brownout_duration"
+        );
+        c.faults.brownout_duration = 40;
+        c.validate().unwrap();
+        assert!(c.faults.brownouts_enabled());
+        assert!(c.faults.any_injection_enabled());
+
+        let mut c = SystemConfig::default();
+        c.faults.stuck_cell_prob = 0.2;
+        assert_eq!(
+            c.validate().unwrap_err().field(),
+            "faults.stuck_wear_threshold"
+        );
+        c.faults.stuck_wear_threshold = 10_000;
+        c.validate().unwrap();
     }
 
     #[test]

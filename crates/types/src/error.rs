@@ -48,6 +48,168 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// Which accounting domain of the token ledger an error concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerDomain {
+    /// The DIMM-level raw budget.
+    Dimm,
+    /// One chip's local-charge-pump budget.
+    Chip(usize),
+    /// The global charge pump.
+    Gcp,
+}
+
+impl fmt::Display for LedgerDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LedgerDomain::Dimm => f.write_str("DIMM"),
+            LedgerDomain::Chip(i) => write!(f, "chip {i}"),
+            LedgerDomain::Gcp => f.write_str("GCP"),
+        }
+    }
+}
+
+/// A token-accounting violation detected by the ledger or its auditor.
+///
+/// The ledger's conservation contract is exact: every released [`Grant`]
+/// must return precisely what was deducted, and no budget may go negative
+/// or exceed its capacity. All quantities are reported in millitokens (the
+/// ledger's fixed-point unit).
+///
+/// [`Grant`]: https://docs.rs/fpb-core
+///
+/// # Examples
+///
+/// ```
+/// use fpb_types::{LedgerDomain, LedgerError};
+///
+/// let e = LedgerError::OverRelease {
+///     domain: LedgerDomain::Chip(3),
+///     released_millis: 70_000,
+///     headroom_millis: 1_500,
+/// };
+/// assert!(e.to_string().contains("chip 3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A release would push a budget above its capacity: more tokens came
+    /// back than are outstanding.
+    OverRelease {
+        /// Domain whose budget would overflow.
+        domain: LedgerDomain,
+        /// Millitokens the release tried to return.
+        released_millis: u64,
+        /// Millitokens of headroom the budget actually had.
+        headroom_millis: u64,
+    },
+    /// An audit found a budget that does not equal capacity minus the sum
+    /// of outstanding grants.
+    Unbalanced {
+        /// Domain whose books do not balance.
+        domain: LedgerDomain,
+        /// Millitokens the domain should have available.
+        expected_millis: u64,
+        /// Millitokens it actually has available.
+        actual_millis: u64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::OverRelease {
+                domain,
+                released_millis,
+                headroom_millis,
+            } => write!(
+                f,
+                "ledger over-release on {domain}: returned {released_millis} \
+                 millitokens into {headroom_millis} millitokens of headroom"
+            ),
+            LedgerError::Unbalanced {
+                domain,
+                expected_millis,
+                actual_millis,
+            } => write!(
+                f,
+                "ledger unbalanced on {domain}: expected {expected_millis} \
+                 millitokens available, found {actual_millis}"
+            ),
+        }
+    }
+}
+
+impl Error for LedgerError {}
+
+/// A failure of the simulation engine itself (as opposed to a modeled
+/// device fault, which the engine is expected to absorb).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_types::{ConfigError, SimError};
+///
+/// let e = SimError::from(ConfigError::new("power.pt_dimm", "must be nonzero"));
+/// assert!(e.to_string().contains("pt_dimm"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scheduler found no runnable work and no future event: the
+    /// simulated system can make no further progress.
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Writes still queued at the controller.
+        pending_writes: usize,
+        /// Reads still queued at the controller.
+        pending_reads: usize,
+    },
+    /// Token accounting was violated (see [`LedgerError`]).
+    Ledger(LedgerError),
+    /// The run was given an invalid configuration.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock {
+                cycle,
+                pending_writes,
+                pending_reads,
+            } => write!(
+                f,
+                "scheduling deadlock at cycle {cycle}: no future event while \
+                 {pending_writes} write(s) and {pending_reads} read(s) are queued"
+            ),
+            SimError::Ledger(e) => write!(f, "power-token accounting error: {e}"),
+            SimError::Config(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Ledger(e) => Some(e),
+            SimError::Config(e) => Some(e),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<LedgerError> for SimError {
+    fn from(e: LedgerError) -> Self {
+        SimError::Ledger(e)
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +226,37 @@ mod tests {
     fn is_std_error() {
         fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
         takes_err(ConfigError::new("x", "y"));
+        takes_err(LedgerError::Unbalanced {
+            domain: LedgerDomain::Gcp,
+            expected_millis: 1,
+            actual_millis: 0,
+        });
+        takes_err(SimError::Deadlock {
+            cycle: 9,
+            pending_writes: 1,
+            pending_reads: 0,
+        });
+    }
+
+    #[test]
+    fn sim_error_display_and_source() {
+        let dl = SimError::Deadlock {
+            cycle: 1234,
+            pending_writes: 3,
+            pending_reads: 1,
+        };
+        let s = dl.to_string();
+        assert!(s.contains("1234") && s.contains("3 write(s)"));
+        assert!(dl.source().is_none());
+
+        let le = LedgerError::Unbalanced {
+            domain: LedgerDomain::Dimm,
+            expected_millis: 560_000,
+            actual_millis: 559_000,
+        };
+        let se = SimError::from(le.clone());
+        assert!(se.to_string().contains("DIMM"));
+        assert!(se.source().is_some());
+        assert_eq!(se, SimError::Ledger(le));
     }
 }

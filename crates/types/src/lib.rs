@@ -39,10 +39,10 @@ pub mod time;
 mod proptests;
 
 pub use config::{
-    CacheHierarchyConfig, MlcLevelModel, MlcWriteModel, PcmConfig, PowerConfig, QueueConfig,
-    SystemConfig,
+    CacheHierarchyConfig, FaultConfig, MlcLevelModel, MlcWriteModel, PcmConfig, PowerConfig,
+    QueueConfig, SystemConfig,
 };
-pub use error::ConfigError;
+pub use error::{ConfigError, LedgerDomain, LedgerError, SimError};
 pub use ids::{BankId, ChipId, CoreId, LineAddr};
 pub use power::Tokens;
 pub use rng::SimRng;

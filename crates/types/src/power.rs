@@ -172,7 +172,7 @@ impl Sum for Tokens {
 
 impl fmt::Display for Tokens {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % SCALE == 0 {
+        if self.0.is_multiple_of(SCALE) {
             write!(f, "{} tok", self.0 / SCALE)
         } else {
             write!(f, "{:.3} tok", self.as_f64())

@@ -40,7 +40,8 @@ fn dispatch(cmd: Command) -> Result<(), String> {
         Command::List => {
             println!("workloads (Table 2):");
             for name in catalog::WORKLOADS {
-                let wl = catalog::workload(name).expect("catalog");
+                let wl = catalog::workload(name)
+                    .ok_or_else(|| format!("catalog is missing its own workload `{name}`"))?;
                 println!(
                     "  {name:<8} RPKI {:>5.2}  WPKI {:>5.2}  ({})",
                     wl.table2_rpki, wl.table2_wpki, wl.per_core[0].name
@@ -69,6 +70,7 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             print_header();
             print_metrics(&setup.label, &m, None);
             print_wear(&m);
+            print_faults(&m);
             Ok(())
         }
         Command::Sweep { args, axes, csv } => {
@@ -151,6 +153,21 @@ fn print_metrics(label: &str, m: &Metrics, baseline: Option<&Metrics>) {
         m.burst_fraction() * 100.0,
         m.avg_read_latency(),
         speedup
+    );
+}
+
+fn print_faults(m: &Metrics) {
+    let f = &m.faults;
+    if !f.any_activity() {
+        return;
+    }
+    println!(
+        "\nfaults: {} verify failures, {} retries, {} stuck, {} remapped (SLC), {} watchdog trips",
+        f.verify_failures, f.retries, f.stuck_lines_marked, f.remaps, f.watchdog_trips
+    );
+    println!(
+        "        {} brownout windows ({} cycles), {} degraded writes ({} cycles), {} audit violations",
+        f.brownout_windows, f.brownout_cycles, f.degraded_writes, f.degraded_cycles, f.audit_violations
     );
 }
 

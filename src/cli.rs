@@ -65,6 +65,8 @@ pub struct RunArgs {
     pub wp: bool,
     /// Write truncation ECC budget.
     pub wt: Option<u32>,
+    /// Run the opt-in token-conservation auditor (`--audit-ledger`).
+    pub audit_ledger: bool,
 }
 
 impl Default for RunArgs {
@@ -78,6 +80,7 @@ impl Default for RunArgs {
             wc: false,
             wp: false,
             wt: None,
+            audit_ledger: false,
         }
     }
 }
@@ -241,6 +244,53 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--wc" => ra.wc = true,
                     "--wp" => ra.wp = true,
                     "--wt" => ra.wt = Some(parse_num(&value("--wt")?, "--wt")? as u32),
+                    "--fault-verify-rate" => {
+                        ra.cfg.faults.verify_fail_prob =
+                            parse_float(&value("--fault-verify-rate")?, "--fault-verify-rate")?
+                    }
+                    "--fault-stuck-rate" => {
+                        ra.cfg.faults.stuck_cell_prob =
+                            parse_float(&value("--fault-stuck-rate")?, "--fault-stuck-rate")?
+                    }
+                    "--fault-stuck-threshold" => {
+                        ra.cfg.faults.stuck_wear_threshold =
+                            parse_num(&value("--fault-stuck-threshold")?, "--fault-stuck-threshold")?
+                    }
+                    "--fault-brownout-period" => {
+                        ra.cfg.faults.brownout_period =
+                            parse_num(&value("--fault-brownout-period")?, "--fault-brownout-period")?
+                    }
+                    "--fault-brownout-duration" => {
+                        ra.cfg.faults.brownout_duration = parse_num(
+                            &value("--fault-brownout-duration")?,
+                            "--fault-brownout-duration",
+                        )?
+                    }
+                    "--fault-brownout-scale" => {
+                        ra.cfg.faults.brownout_budget_scale =
+                            parse_float(&value("--fault-brownout-scale")?, "--fault-brownout-scale")?
+                    }
+                    "--fault-max-retries" => {
+                        let n = parse_num(&value("--fault-max-retries")?, "--fault-max-retries")?;
+                        ra.cfg.faults.max_retries = u8::try_from(n).map_err(|_| {
+                            CliError(format!("--fault-max-retries must fit in u8, got `{n}`"))
+                        })?;
+                    }
+                    "--fault-backoff" => {
+                        ra.cfg.faults.retry_backoff_cycles =
+                            parse_num(&value("--fault-backoff")?, "--fault-backoff")?
+                    }
+                    "--fault-watchdog" => {
+                        let n = parse_num(&value("--fault-watchdog")?, "--fault-watchdog")?;
+                        ra.cfg.faults.watchdog_iterations = u32::try_from(n).map_err(|_| {
+                            CliError(format!("--fault-watchdog must fit in u32, got `{n}`"))
+                        })?;
+                    }
+                    "--fault-degraded-after" => {
+                        ra.cfg.faults.degraded_after_cycles =
+                            parse_num(&value("--fault-degraded-after")?, "--fault-degraded-after")?
+                    }
+                    "--audit-ledger" => ra.audit_ledger = true,
                     "--axis" if sub == "sweep" => {
                         let spec = value("--axis")?;
                         let (name, vals) = spec.split_once('=').ok_or_else(|| {
@@ -282,9 +332,16 @@ fn parse_num(s: &str, flag: &str) -> Result<u64, CliError> {
         .map_err(|_| CliError(format!("{flag} must be an integer, got `{s}`")))
 }
 
+fn parse_float(s: &str, flag: &str) -> Result<f64, CliError> {
+    s.parse()
+        .map_err(|_| CliError(format!("{flag} must be a number, got `{s}`")))
+}
+
 /// Simulation options derived from parsed args.
 pub fn sim_options(args: &RunArgs) -> SimOptions {
-    SimOptions::with_instructions(args.instructions)
+    let mut opts = SimOptions::with_instructions(args.instructions);
+    opts.audit_ledger = args.audit_ledger;
+    opts
 }
 
 /// Builds a [`fpb_sim::sweep::Axis`] from a CLI `name=v1,v2` spec.
@@ -338,6 +395,20 @@ OPTIONS (run/compare):
   --mapping <NE|VIM|BIM>  cell-to-chip mapping
   --seed <n>           RNG seed
   --wc / --wp / --wt <ecc>  write cancellation / pausing / truncation
+
+FAULT INJECTION (run/compare; all off by default):
+  --fault-verify-rate <f>        P(round fails verify)          [0]
+  --fault-stuck-rate <f>         P(worn line sticks per write)  [0]
+  --fault-stuck-threshold <n>    region wear before sticking    [0]
+  --fault-brownout-period <n>    cycles between brownouts       [0 = off]
+  --fault-brownout-duration <n>  brownout window length         [0]
+  --fault-brownout-scale <f>     budget fraction kept in window [0.5]
+  --fault-max-retries <n>        retries before remap + SLC     [3]
+  --fault-backoff <n>            base retry backoff, cycles     [1000]
+  --fault-watchdog <n>           per-round iteration cap        [256]
+  --fault-degraded-after <n>     browned-out cycles before SLC  [0 = never]
+  --audit-ledger                 check token conservation after every
+                                 grant/release (reports violations)
 ";
 
 #[cfg(test)]
@@ -398,6 +469,73 @@ mod tests {
         assert!(parse(&v(&["run", "--instructions"])).is_err());
         assert!(parse(&v(&["run", "--line-bytes", "100"])).is_err(), "invalid config");
         assert!(parse(&v(&["record", "--ops", "10"])).is_err(), "missing required");
+    }
+
+    #[test]
+    fn fault_flags_parse_into_config() {
+        let cmd = parse(&v(&[
+            "run",
+            "--fault-verify-rate",
+            "0.25",
+            "--fault-stuck-rate",
+            "0.01",
+            "--fault-stuck-threshold",
+            "50_000",
+            "--fault-brownout-period",
+            "100000",
+            "--fault-brownout-duration",
+            "20000",
+            "--fault-brownout-scale",
+            "0.4",
+            "--fault-max-retries",
+            "5",
+            "--fault-backoff",
+            "250",
+            "--fault-watchdog",
+            "64",
+            "--fault-degraded-after",
+            "5000",
+            "--audit-ledger",
+        ]))
+        .unwrap();
+        let Command::Run(ra) = cmd else {
+            panic!("expected Run")
+        };
+        let f = &ra.cfg.faults;
+        assert_eq!(f.verify_fail_prob, 0.25);
+        assert_eq!(f.stuck_cell_prob, 0.01);
+        assert_eq!(f.stuck_wear_threshold, 50_000);
+        assert_eq!(f.brownout_period, 100_000);
+        assert_eq!(f.brownout_duration, 20_000);
+        assert_eq!(f.brownout_budget_scale, 0.4);
+        assert_eq!(f.max_retries, 5);
+        assert_eq!(f.retry_backoff_cycles, 250);
+        assert_eq!(f.watchdog_iterations, 64);
+        assert_eq!(f.degraded_after_cycles, 5000);
+        assert!(ra.audit_ledger);
+        assert!(sim_options(&ra).audit_ledger);
+    }
+
+    #[test]
+    fn bad_fault_values_name_the_flag_or_field() {
+        let e = parse(&v(&["run", "--fault-verify-rate", "lots"])).unwrap_err();
+        assert!(e.0.contains("--fault-verify-rate"), "{e}");
+        let e = parse(&v(&["run", "--fault-max-retries", "300"])).unwrap_err();
+        assert!(e.0.contains("--fault-max-retries"), "{e}");
+        // A parseable but invalid value is caught by config validation,
+        // which names the offending config field.
+        let e = parse(&v(&["run", "--fault-verify-rate", "1.5"])).unwrap_err();
+        assert!(e.0.contains("faults.verify_fail_prob"), "{e}");
+        // Brownout duration must fit inside the period.
+        let e = parse(&v(&[
+            "run",
+            "--fault-brownout-period",
+            "100",
+            "--fault-brownout-duration",
+            "200",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("faults.brownout_duration"), "{e}");
     }
 
     #[test]

@@ -139,7 +139,7 @@ fn metrics_internal_consistency() {
     assert!(m.write_active_cycles <= m.cycles);
     if m.pcm_writes > 0 {
         assert!(m.avg_cell_changes() > 0.0);
-        assert!(m.cells_written >= m.pcm_writes as u64);
+        assert!(m.cells_written >= m.pcm_writes);
     }
 }
 

@@ -1,0 +1,111 @@
+//! System tests for the fault-injection and graceful-degradation
+//! subsystem: injected runs finish, recovery metrics fire, runs are
+//! deterministic, and disabled injection is bit-for-bit free.
+
+use fpb::sim::{run_workload, try_run_workload, FaultMetrics, Metrics, SchemeSetup, SimOptions};
+use fpb::trace::catalog;
+use fpb::types::{FaultConfig, SystemConfig};
+
+fn opts() -> SimOptions {
+    SimOptions::with_instructions(60_000)
+}
+
+fn run_cfg(cfg: &SystemConfig) -> Metrics {
+    let wl = catalog::workload("mcf_m").expect("workload");
+    run_workload(&wl, cfg, &SchemeSetup::fpb(cfg), &opts())
+}
+
+/// A fault mix that exercises every recovery path: a high verify-failure
+/// rate (to exhaust retries and force remap + SLC fallback) and brownout
+/// windows frequent enough to land inside a short run.
+fn faulty_cfg() -> SystemConfig {
+    SystemConfig::default().with_faults(FaultConfig {
+        verify_fail_prob: 0.4,
+        brownout_period: 200_000,
+        brownout_duration: 40_000,
+        ..FaultConfig::default()
+    })
+}
+
+#[test]
+fn faulty_run_completes_with_recovery_activity() {
+    let cfg = faulty_cfg();
+    let m = run_cfg(&cfg);
+    assert!(m.cycles > 0);
+    assert!(m.pcm_writes > 0, "writes must still complete under faults");
+    let f = &m.faults;
+    assert!(f.verify_failures > 0, "verify injection never fired: {f:?}");
+    assert!(f.retries > 0, "no retries issued: {f:?}");
+    assert!(f.brownout_windows > 0, "no brownout window hit: {f:?}");
+    assert!(f.brownout_cycles > 0, "brownout cycles unaccounted: {f:?}");
+    assert!(f.any_activity());
+}
+
+#[test]
+fn retry_exhaustion_remaps_and_degrades_to_slc() {
+    // Every round fails verify, so each write burns through max_retries
+    // and must be remapped + rewritten in SLC form (which skips the
+    // injected verify, guaranteeing forward progress).
+    let cfg = SystemConfig::default().with_faults(FaultConfig {
+        verify_fail_prob: 1.0,
+        max_retries: 2,
+        retry_backoff_cycles: 100,
+        ..FaultConfig::default()
+    });
+    let m = run_cfg(&cfg);
+    assert!(m.pcm_writes > 0);
+    assert!(m.faults.remaps > 0, "{:?}", m.faults);
+    assert_eq!(m.faults.remaps, m.faults.slc_fallbacks);
+    assert!(m.faults.retries >= 2 * m.faults.remaps);
+}
+
+#[test]
+fn same_seed_same_faults_identical_metrics() {
+    let cfg = faulty_cfg();
+    let a = run_cfg(&cfg);
+    let b = run_cfg(&cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.pcm_reads, b.pcm_reads);
+    assert_eq!(a.pcm_writes, b.pcm_writes);
+    assert_eq!(a.cells_written, b.cells_written);
+    assert_eq!(a.faults, b.faults, "fault counters must be bit-identical");
+}
+
+#[test]
+fn disabled_injection_is_bit_for_bit_free() {
+    // Recovery knobs without any enabled injection (all probabilities and
+    // the brownout period zero) must not perturb the run at all: the
+    // injector is never constructed, so not a single RNG draw differs.
+    let tuned_but_off = SystemConfig::default().with_faults(FaultConfig {
+        max_retries: 7,
+        retry_backoff_cycles: 12_345,
+        watchdog_iterations: 9,
+        brownout_budget_scale: 0.1,
+        ..FaultConfig::default()
+    });
+    let baseline = run_cfg(&SystemConfig::default());
+    let off = run_cfg(&tuned_but_off);
+    assert_eq!(baseline.cycles, off.cycles);
+    assert_eq!(baseline.pcm_reads, off.pcm_reads);
+    assert_eq!(baseline.pcm_writes, off.pcm_writes);
+    assert_eq!(baseline.cells_written, off.cells_written);
+    assert_eq!(baseline.write_queue_delay, off.write_queue_delay);
+    assert_eq!(baseline.read_latency_sum, off.read_latency_sum);
+    assert_eq!(off.faults, FaultMetrics::default());
+    assert!(!off.faults.any_activity());
+}
+
+#[test]
+fn ledger_audit_runs_clean_under_faults() {
+    // The conservation auditor checks avail + outstanding + withheld == cap
+    // after every grant and release; a faulty run with brownout withholding
+    // is exactly where bookkeeping bugs would surface.
+    let cfg = faulty_cfg();
+    let wl = catalog::workload("mcf_m").expect("workload");
+    let mut o = opts();
+    o.audit_ledger = true;
+    let m = try_run_workload(&wl, &cfg, &SchemeSetup::fpb(&cfg), &o)
+        .expect("faulty audited run must not error");
+    assert_eq!(m.faults.audit_violations, 0, "ledger conservation violated");
+    assert!(m.faults.brownout_windows > 0);
+}

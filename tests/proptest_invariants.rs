@@ -120,9 +120,79 @@ proptest! {
             prop_assert_eq!(avail + outstanding, Tokens::from_cells(budget));
         }
         for g in &held {
-            ledger.release(g);
+            ledger.release(g).unwrap();
         }
         prop_assert_eq!(ledger.dimm_available(), Some(Tokens::from_cells(budget)));
+    }
+
+    /// Brownout windows conserve tokens under any grant/release
+    /// interleaving: budgets never underflow while shrunk, pre-window
+    /// grants release cleanly mid-window, and ending the window restores
+    /// the exact pre-window state.
+    #[test]
+    fn brownout_withhold_restores_exactly(
+        pre_demands in prop::collection::vec(0u64..40, 8..=8),
+        in_demands in prop::collection::vec(0u64..40, 8..=8),
+        keep in 0.0f64..1.0,
+    ) {
+        let mut ledger = Ledger::with_chips(560, 8, 66_500, 0.95, Some((0.8, 66_500)));
+        let full: Vec<Tokens> = (0..8).map(|i| ledger.chip_available(i)).collect();
+        let full_dimm = ledger.dimm_available();
+        let full_gcp = ledger.gcp_available();
+        let to_demand = |ds: &[u64]| ds.iter().map(|&d| Tokens::from_cells(d)).collect::<Vec<_>>();
+
+        // Grant before the window; this power is in flight and cannot be
+        // clawed back by the brownout.
+        let pre = ledger.try_grant_chips(&to_demand(&pre_demands));
+
+        ledger.begin_brownout(keep);
+        prop_assert!(ledger.in_brownout());
+        let withheld = ledger.brownout_hold().expect("active window").total_millis();
+
+        // Conservation with the hold counted as a third bucket.
+        fn count(
+            g: &fpb::power::Grant,
+            dimm: &mut Tokens,
+            chips: &mut [Tokens],
+            gcp: &mut Tokens,
+        ) {
+            *dimm += g.dimm_raw;
+            *gcp += g.gcp_total;
+            for (chip, (&l, &b)) in chips.iter_mut().zip(g.lcp.iter().zip(g.borrowed.iter())) {
+                *chip += l + b;
+            }
+        }
+        let (mut out_dimm, mut out_chips, mut out_gcp) =
+            (Tokens::default(), vec![Tokens::default(); 8], Tokens::default());
+        if let Some(g) = &pre {
+            count(g, &mut out_dimm, &mut out_chips, &mut out_gcp);
+        }
+        ledger.audit(out_dimm, &out_chips, out_gcp).unwrap();
+
+        // Grants inside the window see only the shrunk budget and must not
+        // underflow it (Tokens arithmetic would panic on underflow).
+        let inside = ledger.try_grant_chips(&to_demand(&in_demands));
+        if let Some(g) = &inside {
+            count(g, &mut out_dimm, &mut out_chips, &mut out_gcp);
+        }
+        ledger.audit(out_dimm, &out_chips, out_gcp).unwrap();
+
+        // A pre-window grant released mid-window must not be flagged.
+        if let Some(g) = &pre {
+            ledger.release(g).unwrap();
+        }
+
+        ledger.end_brownout();
+        prop_assert!(!ledger.in_brownout());
+        if let Some(g) = &inside {
+            ledger.release(g).unwrap();
+        }
+        prop_assert!(withheld <= 560_000 + 8 * 66_500 + 66_500);
+        for (i, &f) in full.iter().enumerate() {
+            prop_assert_eq!(ledger.chip_available(i), f);
+        }
+        prop_assert_eq!(ledger.dimm_available(), full_dimm);
+        prop_assert_eq!(ledger.gcp_available(), full_gcp);
     }
 
     /// Chip ledger with GCP: failed grants change nothing; successful
@@ -137,14 +207,11 @@ proptest! {
         let before_dimm = ledger.dimm_available();
         let before_gcp = ledger.gcp_available();
         let demand: Vec<Tokens> = demands.iter().map(|&d| Tokens::from_cells(d)).collect();
-        match ledger.try_grant_chips(&demand) {
-            Some(g) => {
-                ledger.release(&g);
-            }
-            None => {}
+        if let Some(g) = ledger.try_grant_chips(&demand) {
+            ledger.release(&g).unwrap();
         }
-        for i in 0..8 {
-            prop_assert_eq!(ledger.chip_available(i), before[i]);
+        for (i, &b) in before.iter().enumerate() {
+            prop_assert_eq!(ledger.chip_available(i), b);
         }
         prop_assert_eq!(ledger.dimm_available(), before_dimm);
         prop_assert_eq!(ledger.gcp_available(), before_gcp);
