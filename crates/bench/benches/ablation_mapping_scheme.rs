@@ -25,10 +25,10 @@ fn main() {
         let cores = warm_cores(wl, &cfg, &opts);
         let mut values = Vec::new();
         // Baseline: DIMM+chip with the default (naive) mapping.
-        let base = run_workload_warmed(&wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts, &cores);
+        let base = run_workload_warmed(wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts, &cores);
         for (mi, &m) in mappings.iter().enumerate() {
             let chip = run_workload_warmed(
-                &wl,
+                wl,
                 &cfg,
                 &SchemeSetup::dimm_chip(&cfg).with_mapping(m),
                 &opts,
@@ -39,7 +39,7 @@ fn main() {
         }
         for &m in &mappings {
             let fpb = run_workload_warmed(
-                &wl,
+                wl,
                 &cfg,
                 &SchemeSetup::fpb(&cfg).with_mapping(m),
                 &opts,

@@ -18,7 +18,7 @@ fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/access_streaming", |b| {
         b.iter(|| {
             addr = addr.wrapping_add(256) & ((1 << 30) - 1);
-            black_box(cache.access(black_box(addr), addr % 3 == 0))
+            black_box(cache.access(black_box(addr), addr.is_multiple_of(3)))
         })
     });
 }
@@ -57,6 +57,23 @@ fn bench_ledger(c: &mut Criterion) {
     c.bench_function("core/ledger_grant_release", |b| {
         b.iter(|| {
             let g = ledger.try_grant_chips(black_box(&demand)).expect("fits");
+            ledger.release(&g).unwrap();
+        })
+    });
+
+    // Same ledger shape, but chip 0 is pinned near empty so its demand
+    // must route through the GCP — this drives phase 2's headroom
+    // ordering, the one grant path that allocated per call before the
+    // ledger grew reusable scratch buffers.
+    let mut ledger = Ledger::with_chips(560, 8, 66_500, 0.95, Some((0.7, 66_500)));
+    let mut pin = vec![Tokens::ZERO; 8];
+    pin[0] = Tokens::from_cells(60); // chip budget is 66.5 cells
+    let _hold = ledger.try_grant_chips(&pin).expect("pin fits");
+    let mut demand: Vec<Tokens> = (0..8).map(|i| Tokens::from_cells(2 + i)).collect();
+    demand[0] = Tokens::from_cells(16); // exceeds chip 0's remaining headroom
+    c.bench_function("core/ledger_grant_gcp_borrow", |b| {
+        b.iter(|| {
+            let g = ledger.try_grant_chips(black_box(&demand)).expect("fits via GCP");
             ledger.release(&g).unwrap();
         })
     });

@@ -4,8 +4,7 @@
 //! Expected shape (§6.4.1): the improvement grows with line size (64 B
 //! writes barely stress the budget; 256 B writes stress it heavily).
 
-use fpb_bench::{all_workloads, bench_options, print_table, Row};
-use fpb_sim::engine::{run_workload_warmed, warm_cores};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, Row};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
@@ -23,11 +22,10 @@ fn main() {
         .collect();
     for &bytes in &sizes {
         let cfg = SystemConfig::default().with_line_bytes(bytes);
-        for (wi, wl) in wls.iter().enumerate() {
-            let cores = warm_cores(wl, &cfg, &opts);
-            let base = run_workload_warmed(wl, &cfg, &SchemeSetup::dimm_chip(&cfg), &opts, &cores);
-            let fpb = run_workload_warmed(wl, &cfg, &SchemeSetup::fpb(&cfg), &opts, &cores);
-            rows[wi].values.push(fpb.speedup_over(&base));
+        let setups = [SchemeSetup::dimm_chip(&cfg), SchemeSetup::fpb(&cfg)];
+        let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+        for (wi, ms) in matrix.iter().enumerate() {
+            rows[wi].values.push(ms[1].speedup_over(&ms[0]));
         }
     }
     let gmeans: Vec<f64> = (0..sizes.len())

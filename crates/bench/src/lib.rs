@@ -9,8 +9,14 @@
 //! Run scale: benches default to a reduced, shape-preserving instruction
 //! budget. Set `FPB_INSTRUCTIONS` (per core) to raise or lower it, e.g.
 //! `FPB_INSTRUCTIONS=500000 cargo bench -p fpb-bench`.
+//!
+//! Parallelism: [`run_matrix`] fans workloads across worker threads
+//! (results are deterministic and identical to a serial run). Set
+//! `FPB_JOBS` to pin the worker count; it defaults to the machine's
+//! available parallelism.
 
 use fpb_sim::engine::{run_workload_warmed, warm_cores};
+use fpb_sim::exec::{default_jobs, parallel_map_indexed};
 use fpb_sim::metrics::gmean;
 use fpb_sim::{Metrics, SchemeSetup, SimOptions};
 use fpb_trace::catalog::{self, Workload, WORKLOADS};
@@ -36,6 +42,16 @@ pub fn bench_options() -> SimOptions {
     SimOptions::with_instructions(instr)
 }
 
+/// Worker threads for bench fan-out: `FPB_JOBS` if set (minimum 1),
+/// otherwise the machine's available parallelism.
+pub fn bench_jobs() -> usize {
+    std::env::var("FPB_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_jobs)
+        .max(1)
+}
+
 /// Loads all thirteen Table 2 workloads.
 ///
 /// # Panics
@@ -59,24 +75,24 @@ pub struct Row {
 
 /// Runs `setups` over `workloads` and returns per-workload metrics
 /// (indexed `[workload][setup]`).
+///
+/// Workloads fan across [`bench_jobs`] worker threads; results keep
+/// workload order and are identical to a serial run.
 pub fn run_matrix(
     cfg: &SystemConfig,
     workloads: &[Workload],
     setups: &[SchemeSetup],
     opts: &SimOptions,
 ) -> Vec<Vec<Metrics>> {
-    workloads
-        .iter()
-        .map(|wl| {
-            // Warm once per workload; every scheme replays from identical
-            // initial cache state.
-            let cores = warm_cores(wl, cfg, opts);
-            setups
-                .iter()
-                .map(|s| run_workload_warmed(wl, cfg, s, opts, &cores))
-                .collect()
-        })
-        .collect()
+    parallel_map_indexed(workloads, bench_jobs(), |_, wl| {
+        // Warm once per workload; every scheme replays from identical
+        // initial cache state.
+        let cores = warm_cores(wl, cfg, opts);
+        setups
+            .iter()
+            .map(|s| run_workload_warmed(wl, cfg, s, opts, &cores))
+            .collect()
+    })
 }
 
 /// Converts a metrics matrix into speedup rows relative to column
@@ -157,6 +173,11 @@ mod tests {
     fn options_default_and_env_parse() {
         let opts = bench_options();
         assert!(opts.instructions_per_core >= 1);
+    }
+
+    #[test]
+    fn jobs_default_is_positive() {
+        assert!(bench_jobs() >= 1);
     }
 
     #[test]

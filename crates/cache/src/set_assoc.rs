@@ -263,9 +263,9 @@ mod tests {
     fn lru_evicts_least_recent() {
         let mut c = small();
         // Set 0 holds lines 0, 2, 4, ... (line % 2 == 0).
-        c.access(0 * 64, false); // line 0
+        c.access(0, false); // line 0
         c.access(2 * 64, false); // line 2 — set 0 now full
-        c.access(0 * 64, false); // touch line 0 (line 2 is now LRU)
+        c.access(0, false); // touch line 0 (line 2 is now LRU)
         let r = c.access(4 * 64, false); // line 4 evicts line 2
         let v = r.victim.unwrap();
         assert_eq!(v.addr, 2 * 64);
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn writeback_only_for_dirty_victims() {
         let mut c = small();
-        c.access(0 * 64, true); // dirty line 0
+        c.access(0, true); // dirty line 0
         c.access(2 * 64, false); // clean line 2
         let r = c.access(4 * 64, false); // evicts line 0 (LRU)
         assert_eq!(

@@ -108,6 +108,20 @@ pub struct Ledger {
     e_gcp: Vec<f64>,
     /// Tokens currently withheld by an active brownout window.
     brownout: Option<BrownoutHold>,
+    /// Reusable planning buffers for [`Ledger::try_grant_chips`]. Grant
+    /// planning runs on every admission attempt — including refused ones,
+    /// which the scheduler retries each pass — so the plan must not
+    /// allocate. Only a successful grant pays for the `Grant`'s own vecs.
+    scratch: GrantScratch,
+}
+
+/// Reusable buffers for grant planning (see [`Ledger::try_grant_chips`]).
+#[derive(Debug, Clone, Default)]
+struct GrantScratch {
+    lcp: Vec<Tokens>,
+    gcp: Vec<Tokens>,
+    borrowed: Vec<Tokens>,
+    order: Vec<usize>,
 }
 
 impl Ledger {
@@ -123,6 +137,7 @@ impl Ledger {
             e_lcp: 1.0,
             e_gcp: Vec::new(),
             brownout: None,
+            scratch: GrantScratch::default(),
         }
     }
 
@@ -175,6 +190,7 @@ impl Ledger {
             e_lcp,
             e_gcp,
             brownout: None,
+            scratch: GrantScratch::default(),
         }
     }
 
@@ -263,33 +279,41 @@ impl Ledger {
         );
         assert_eq!(per_chip.len(), self.chips_avail.len(), "chip count mismatch");
 
-        // Phase 1: plan LCP vs GCP per chip.
+        // Phase 1: plan LCP vs GCP per chip, into the reusable scratch
+        // buffers — a refused grant must not allocate (the scheduler
+        // retries parked writes every pass, so refusals dominate under
+        // contention).
         let n = per_chip.len();
-        let mut lcp = vec![Tokens::ZERO; n];
-        let mut gcp = vec![Tokens::ZERO; n];
+        self.scratch.lcp.clear();
+        self.scratch.lcp.resize(n, Tokens::ZERO);
+        self.scratch.gcp.clear();
+        self.scratch.gcp.resize(n, Tokens::ZERO);
         let mut gcp_total = Tokens::ZERO;
-        for i in 0..n {
-            if per_chip[i].is_zero() {
+        for (i, &demand) in per_chip.iter().enumerate() {
+            if demand.is_zero() {
                 continue;
             }
-            if self.chips_avail[i] >= per_chip[i] {
-                lcp[i] = per_chip[i];
+            if self.chips_avail[i] >= demand {
+                self.scratch.lcp[i] = demand;
             } else {
-                gcp[i] = per_chip[i];
-                gcp_total += per_chip[i];
+                self.scratch.gcp[i] = demand;
+                gcp_total += demand;
             }
         }
 
         // Phase 2: GCP feasibility. Each served segment pays its own
         // chip's conversion efficiency (uniform unless regulated).
-        let mut borrowed = vec![Tokens::ZERO; n];
+        self.scratch.borrowed.clear();
+        self.scratch.borrowed.resize(n, Tokens::ZERO);
         let mut gcp_raw = Tokens::ZERO;
         if !gcp_total.is_zero() {
             let avail = self.gcp_avail?;
             if avail < gcp_total {
                 return None;
             }
-            gcp_raw = gcp
+            gcp_raw = self
+                .scratch
+                .gcp
                 .iter()
                 .enumerate()
                 .filter(|(_, d)| !d.is_zero())
@@ -298,17 +322,19 @@ impl Ledger {
             // Eq. 5 inverted: usable borrowed b with Σb/E_LCP = raw draw.
             let mut need = mul_eff_ceil(gcp_raw, self.e_lcp);
             // Borrow greedily from the chips with the most headroom.
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by_key(|&i| {
-                std::cmp::Reverse(self.chips_avail[i].saturating_sub(lcp[i]))
+            self.scratch.order.clear();
+            self.scratch.order.extend(0..n);
+            self.scratch.order.sort_by_key(|&i| {
+                std::cmp::Reverse(self.chips_avail[i].saturating_sub(self.scratch.lcp[i]))
             });
-            for &i in &order {
+            for k in 0..n {
                 if need.is_zero() {
                     break;
                 }
-                let headroom = self.chips_avail[i].saturating_sub(lcp[i]);
+                let i = self.scratch.order[k];
+                let headroom = self.chips_avail[i].saturating_sub(self.scratch.lcp[i]);
                 let take = headroom.min(need);
-                borrowed[i] = take;
+                self.scratch.borrowed[i] = take;
                 need = need.saturating_sub(take);
             }
             if !need.is_zero() {
@@ -317,7 +343,7 @@ impl Ledger {
         }
 
         // Phase 3: DIMM raw constraint.
-        let lcp_total: Tokens = lcp.iter().copied().sum();
+        let lcp_total: Tokens = self.scratch.lcp.iter().copied().sum();
         let dimm_raw = lcp_total.scale_up(self.e_lcp) + gcp_raw;
         if let Some(avail) = self.dimm_avail {
             if avail < dimm_raw {
@@ -325,9 +351,10 @@ impl Ledger {
             }
         }
 
-        // Commit.
+        // Commit. Only now does the grant pay for its own vectors.
         for i in 0..n {
-            self.chips_avail[i] = self.chips_avail[i] - lcp[i] - borrowed[i];
+            self.chips_avail[i] =
+                self.chips_avail[i] - self.scratch.lcp[i] - self.scratch.borrowed[i];
         }
         if !gcp_total.is_zero() {
             let avail = self.gcp_avail.expect("checked above");
@@ -337,11 +364,11 @@ impl Ledger {
             self.dimm_avail = Some(avail - dimm_raw);
         }
         Some(Grant {
-            lcp,
-            gcp,
+            lcp: self.scratch.lcp.clone(),
+            gcp: self.scratch.gcp.clone(),
             gcp_total,
             gcp_raw,
-            borrowed,
+            borrowed: self.scratch.borrowed.clone(),
             dimm_raw,
             flat: Tokens::ZERO,
         })
@@ -366,9 +393,14 @@ impl Ledger {
                 });
             }
         };
-        let hold = self.brownout.clone().unwrap_or_default();
+        // Take the hold out rather than cloning it (a live brownout would
+        // otherwise cost a Vec allocation on every release) and restore it
+        // before returning; nothing below touches `self.brownout`.
+        let hold_opt = self.brownout.take();
+        let hold = hold_opt.as_ref();
         if let Some(avail) = self.dimm_avail {
-            let cap = self.dimm_cap.saturating_sub(hold.dimm);
+            let held = hold.map_or(Tokens::ZERO, |h| h.dimm);
+            let cap = self.dimm_cap.saturating_sub(held);
             let back = avail + grant.dimm_raw;
             if back > cap {
                 violate(LedgerDomain::Dimm, grant.dimm_raw, cap.saturating_sub(avail));
@@ -376,7 +408,10 @@ impl Ledger {
             self.dimm_avail = Some(back.min(cap));
         }
         for i in 0..grant.lcp.len() {
-            let held = hold.chips.get(i).copied().unwrap_or(Tokens::ZERO);
+            let held = hold
+                .and_then(|h| h.chips.get(i))
+                .copied()
+                .unwrap_or(Tokens::ZERO);
             let cap = self.chip_cap.saturating_sub(held);
             let returned = grant.lcp[i] + grant.borrowed[i];
             let back = self.chips_avail[i] + returned;
@@ -391,7 +426,8 @@ impl Ledger {
         }
         if !grant.gcp_total.is_zero() {
             if let Some(avail) = self.gcp_avail {
-                let cap = self.gcp_cap.saturating_sub(hold.gcp);
+                let held = hold.map_or(Tokens::ZERO, |h| h.gcp);
+                let cap = self.gcp_cap.saturating_sub(held);
                 let back = avail + grant.gcp_total;
                 if back > cap {
                     violate(LedgerDomain::Gcp, grant.gcp_total, cap.saturating_sub(avail));
@@ -399,6 +435,7 @@ impl Ledger {
                 self.gcp_avail = Some(back.min(cap));
             }
         }
+        self.brownout = hold_opt;
         match first_err {
             None => Ok(()),
             Some(e) => Err(e),
@@ -496,9 +533,9 @@ impl Ledger {
         outstanding_chips: &[Tokens],
         outstanding_gcp: Tokens,
     ) -> Result<(), LedgerError> {
-        let hold = self.brownout.clone().unwrap_or_default();
+        let hold = self.brownout.as_ref();
         if let Some(avail) = self.dimm_avail {
-            let actual = avail + outstanding_dimm_raw + hold.dimm;
+            let actual = avail + outstanding_dimm_raw + hold.map_or(Tokens::ZERO, |h| h.dimm);
             if actual != self.dimm_cap {
                 return Err(LedgerError::Unbalanced {
                     domain: LedgerDomain::Dimm,
@@ -519,7 +556,10 @@ impl Ledger {
                 .zip(outstanding_chips.iter())
                 .enumerate()
             {
-                let held = hold.chips.get(i).copied().unwrap_or(Tokens::ZERO);
+                let held = hold
+                    .and_then(|h| h.chips.get(i))
+                    .copied()
+                    .unwrap_or(Tokens::ZERO);
                 let actual = avail + out + held;
                 if actual != self.chip_cap {
                     return Err(LedgerError::Unbalanced {
@@ -531,7 +571,7 @@ impl Ledger {
             }
         }
         if let Some(avail) = self.gcp_avail {
-            let actual = avail + outstanding_gcp + hold.gcp;
+            let actual = avail + outstanding_gcp + hold.map_or(Tokens::ZERO, |h| h.gcp);
             if actual != self.gcp_cap {
                 return Err(LedgerError::Unbalanced {
                     domain: LedgerDomain::Gcp,

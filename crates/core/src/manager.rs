@@ -67,6 +67,14 @@ pub struct PowerManager {
     audit: bool,
     audit_violations: u64,
     first_violation: Option<LedgerError>,
+    /// Reusable per-chip demand buffer: admission is attempted (and often
+    /// refused) on every scheduling pass, so demand computation must not
+    /// allocate.
+    demand_scratch: Vec<Tokens>,
+    /// Reusable per-chip changed-cell counts feeding `demand_scratch`.
+    chip_scratch: Vec<u32>,
+    /// Reusable outstanding-per-chip buffer for the opt-in auditor.
+    audit_scratch: Vec<Tokens>,
 }
 
 impl PowerManager {
@@ -108,6 +116,9 @@ impl PowerManager {
             audit: false,
             audit_violations: 0,
             first_violation: None,
+            demand_scratch: Vec::new(),
+            chip_scratch: Vec::new(),
+            audit_scratch: Vec::new(),
         }
     }
 
@@ -246,25 +257,30 @@ impl PowerManager {
     /// write under per-write budgeting.
     fn try_allocate_next(&mut self, id: WriteId, write: &LineWrite) -> bool {
         debug_assert!(!self.holds.contains_key(&id), "{id} double allocation");
+        // The scratch buffers are taken out for the duration of the call so
+        // `&self` demand helpers can fill them while the ledger is borrowed.
+        let mut per_chip = std::mem::take(&mut self.demand_scratch);
+        let mut counts = std::mem::take(&mut self.chip_scratch);
         let grant = if !self.ledger.has_chip_budgets() {
             let usable = if self.cfg.ipm {
-                self.iteration_total_demand(write)
+                self.iteration_chip_demand_into(write, &mut counts, &mut per_chip);
+                per_chip.iter().copied().sum()
             } else {
                 Tokens::from_cells(write.total_changed() as u64)
             };
             self.ledger.try_grant_flat(usable)
         } else {
-            let per_chip = if self.cfg.ipm {
-                self.iteration_chip_demand(write)
+            if self.cfg.ipm {
+                self.iteration_chip_demand_into(write, &mut counts, &mut per_chip);
             } else {
-                write
-                    .per_chip_changed()
-                    .iter()
-                    .map(|&c| Tokens::from_cells(c as u64))
-                    .collect()
-            };
+                write.per_chip_changed_into(&mut counts);
+                per_chip.clear();
+                per_chip.extend(counts.iter().map(|&c| Tokens::from_cells(c as u64)));
+            }
             self.ledger.try_grant_chips(&per_chip)
         };
+        self.demand_scratch = per_chip;
+        self.chip_scratch = counts;
         match grant {
             Some(g) => {
                 if g.used_gcp() {
@@ -278,15 +294,23 @@ impl PowerManager {
         }
     }
 
-    /// Re-verifies conservation against the outstanding holds (no-op
-    /// unless auditing is enabled).
+    /// Re-verifies conservation against the outstanding holds. The
+    /// disabled case is a single inlined branch so the auditor costs
+    /// nothing on the default (non-auditing) hot path.
+    #[inline]
     fn audit_now(&mut self) {
-        if !self.audit {
-            return;
+        if self.audit {
+            self.audit_outstanding();
         }
+    }
+
+    #[cold]
+    fn audit_outstanding(&mut self) {
         let chips = self.cfg.chips as usize;
         let mut dimm = Tokens::ZERO;
-        let mut per_chip = vec![Tokens::ZERO; chips];
+        let mut per_chip = std::mem::take(&mut self.audit_scratch);
+        per_chip.clear();
+        per_chip.resize(chips, Tokens::ZERO);
         let mut gcp = Tokens::ZERO;
         for grant in self.holds.values() {
             dimm += grant.dimm_raw;
@@ -301,6 +325,7 @@ impl PowerManager {
         if let Err(e) = self.ledger.audit(dimm, &per_chip, gcp) {
             self.record_violation(e);
         }
+        self.audit_scratch = per_chip;
     }
 
     fn record_violation(&mut self, e: LedgerError) {
@@ -310,13 +335,9 @@ impl PowerManager {
         }
     }
 
-    /// FPB-IPM allocation for the write's next iteration, aggregated over
-    /// chips (flat-ledger variant).
-    fn iteration_total_demand(&self, write: &LineWrite) -> Tokens {
-        self.iteration_chip_demand(write).into_iter().sum()
-    }
-
-    /// FPB-IPM allocation for the write's next iteration, per chip (§3.1):
+    /// FPB-IPM allocation for the write's next iteration, per chip (§3.1),
+    /// written into `out` (cleared first; `counts` is a helper buffer for
+    /// the first-SET path):
     ///
     /// * RESET group `g`: exactly the group's changed cells (known from the
     ///   read-before-write comparison).
@@ -325,33 +346,39 @@ impl PowerManager {
     /// * SET `j ≥ 2`: the cells unfinished after iteration `i − 2` divided
     ///   by `C` — the freshest device report available without adding
     ///   latency.
-    fn iteration_chip_demand(&self, write: &LineWrite) -> Vec<Tokens> {
+    fn iteration_chip_demand_into(
+        &self,
+        write: &LineWrite,
+        counts: &mut Vec<u32>,
+        out: &mut Vec<Tokens>,
+    ) {
         let c = self.cfg.reset_set_ratio;
         let next = write
             .next_demand()
             .expect("allocating for a completed write");
+        out.clear();
         match next.kind {
-            IterKind::Reset { .. } => next
-                .per_chip
-                .iter()
-                .map(|&n| Tokens::from_cells(n as u64))
-                .collect(),
-            IterKind::Set { index: 1 } => write
-                .per_chip_changed()
-                .iter()
-                .map(|&n| Tokens::from_cells(n as u64).div_ratio(c))
-                .collect(),
+            IterKind::Reset { .. } => {
+                out.extend(next.per_chip.iter().map(|&n| Tokens::from_cells(n as u64)));
+            }
+            IterKind::Set { index: 1 } => {
+                write.per_chip_changed_into(counts);
+                out.extend(
+                    counts
+                        .iter()
+                        .map(|&n| Tokens::from_cells(n as u64).div_ratio(c)),
+                );
+            }
             IterKind::Set { .. } => {
                 let lagged = write.iterations_done() - 1; // i - 2, 0-based done count
                 let per_chip = write
                     .per_chip_unfinished_after(lagged)
                     .expect("SET >= 2 implies all RESET groups fired");
                 let chips = self.cfg.chips as usize;
-                let mut out = vec![Tokens::ZERO; chips];
+                out.resize(chips, Tokens::ZERO);
                 for (o, &n) in out.iter_mut().zip(per_chip.iter()) {
                     *o = Tokens::from_cells(n as u64).div_ratio(c);
                 }
-                out
             }
         }
     }

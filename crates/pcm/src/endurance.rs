@@ -26,7 +26,7 @@ use fpb_types::LineAddr;
 /// assert_eq!(t.total_cells_written(), 12);
 /// assert!(t.hottest_region().1 > 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnduranceTracker {
     lines_per_region: u64,
     per_region: Vec<u64>,

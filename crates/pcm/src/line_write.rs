@@ -393,14 +393,23 @@ impl LineWrite {
     /// Total changed cells per chip (the whole-write per-chip demand used
     /// by Hay-style hold-for-the-duration budgeting).
     pub fn per_chip_changed(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.per_chip_changed_into(&mut out);
+        out
+    }
+
+    /// [`LineWrite::per_chip_changed`] into a caller-owned buffer, for hot
+    /// paths that re-budget writes every scheduling pass and must not
+    /// allocate. The buffer is cleared and resized to the chip count.
+    pub fn per_chip_changed_into(&self, out: &mut Vec<u32>) {
         let n = self.chips as usize;
-        let mut out = vec![0u32; n];
+        out.clear();
+        out.resize(n, 0u32);
         for g in 0..self.reset_groups as usize {
             for (c, v) in out.iter_mut().zip(&self.reset_per_chip[g * n..(g + 1) * n]) {
                 *c += v;
             }
         }
-        out
     }
 
     /// Per-chip counterpart of [`LineWrite::unfinished_after`]: how many of

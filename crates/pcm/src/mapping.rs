@@ -99,11 +99,25 @@ impl CellMapping {
     /// assert_eq!(counts[1], 1);
     /// ```
     pub fn distribute<I: IntoIterator<Item = u32>>(self, cells: I, chips: u8) -> Vec<u32> {
-        let mut counts = vec![0u32; chips as usize];
+        let mut counts = Vec::new();
+        self.distribute_into(cells, chips, &mut counts);
+        counts
+    }
+
+    /// [`CellMapping::distribute`] into a caller-owned buffer (cleared and
+    /// resized to the chip count), for hot paths that tally per-chip
+    /// demand repeatedly and must not allocate.
+    pub fn distribute_into<I: IntoIterator<Item = u32>>(
+        self,
+        cells: I,
+        chips: u8,
+        counts: &mut Vec<u32>,
+    ) {
+        counts.clear();
+        counts.resize(chips as usize, 0u32);
         for c in cells {
             counts[self.chip_of(c, chips).index()] += 1;
         }
-        counts
     }
 }
 

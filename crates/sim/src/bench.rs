@@ -1,0 +1,279 @@
+//! The fixed self-measuring benchmark behind `fpb bench`.
+//!
+//! Runs one pinned sweep grid twice — serially, then on `jobs` workers —
+//! and reports wall-clock numbers plus a bit-for-bit comparison of the
+//! two result sets. The report serializes to `BENCH_sweep.json` so every
+//! PR leaves a perf trajectory behind: points/sec tracks sweep throughput,
+//! sim cycles/sec tracks single-threaded engine throughput, and the
+//! `identical` flag is the determinism guarantee CI enforces.
+
+use std::time::Instant;
+
+use fpb_trace::catalog;
+use fpb_types::SystemConfig;
+
+use crate::engine::SimOptions;
+use crate::setup::SchemeSetup;
+use crate::sweep::{run_sweep_jobs, Axis, SweepPoint};
+
+/// Workload the fixed benchmark grid runs (write-heavy, so the power
+/// budgeting hot paths dominate).
+pub const BENCH_WORKLOAD: &str = "mcf_m";
+
+/// Default per-core instruction budget for `fpb bench`.
+pub const BENCH_INSTRUCTIONS: u64 = 40_000;
+
+/// The pinned 3×3 grid: DIMM tokens × GCP efficiency (the two axes the
+/// paper's §6.4 sensitivity study leans on hardest).
+fn fixed_axes() -> Vec<Axis> {
+    vec![
+        Axis::pt_dimm(&[466, 512, 560]),
+        Axis::e_gcp(&[0.5, 0.7, 0.9]),
+    ]
+}
+
+/// Per-point metric record kept in the report (everything here is a
+/// deterministic simulation output — no wall-clock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchPoint {
+    /// The sweep point's label (axes + scheme).
+    pub label: String,
+    /// Scheme run cycles.
+    pub cycles: u64,
+    /// Baseline run cycles.
+    pub baseline_cycles: u64,
+    /// Scheme run completed line writes.
+    pub pcm_writes: u64,
+    /// Scheme run cells written.
+    pub cells_written: u64,
+}
+
+/// The `fpb bench` result: wall-clock measurements plus the deterministic
+/// per-point metrics.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Workload the grid ran.
+    pub workload: String,
+    /// Per-core instruction budget of each run.
+    pub instructions_per_core: u64,
+    /// Worker threads used for the parallel pass.
+    pub jobs: usize,
+    /// Grid size (number of sweep points).
+    pub points: usize,
+    /// Wall-clock of the serial (`jobs = 1`) pass, milliseconds.
+    pub serial_ms: f64,
+    /// Wall-clock of the parallel pass, milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Sweep throughput of the parallel pass, points per second.
+    pub points_per_sec: f64,
+    /// Total simulated cycles across all runs of the serial pass (scheme
+    /// + baseline of every point).
+    pub sim_cycles_total: u64,
+    /// Single-threaded engine throughput: simulated cycles per wall
+    /// second during the serial pass.
+    pub sim_cycles_per_sec: f64,
+    /// True iff the parallel pass reproduced the serial pass bit-for-bit
+    /// (labels, ordering, and full `Metrics` of both runs per point).
+    pub identical: bool,
+    /// Deterministic per-point metrics (serial pass).
+    pub point_metrics: Vec<BenchPoint>,
+}
+
+impl BenchReport {
+    /// Full JSON document (written to `BENCH_sweep.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"fpb-bench-sweep/v1\",\n");
+        s.push_str("  \"wall\": {\n");
+        s.push_str(&format!("    \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("    \"serial_ms\": {:.3},\n", self.serial_ms));
+        s.push_str(&format!("    \"parallel_ms\": {:.3},\n", self.parallel_ms));
+        s.push_str(&format!("    \"speedup\": {:.3},\n", self.speedup));
+        s.push_str(&format!(
+            "    \"points_per_sec\": {:.3},\n",
+            self.points_per_sec
+        ));
+        s.push_str(&format!(
+            "    \"sim_cycles_per_sec\": {:.1}\n",
+            self.sim_cycles_per_sec
+        ));
+        s.push_str("  },\n");
+        s.push_str(&self.metric_fields_json(2));
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// The deterministic subset of the report — everything except the
+    /// `wall` object (and `jobs`, which feeds it). Two runs with any job
+    /// counts must produce byte-identical output here; the property test
+    /// and the CI divergence check compare exactly this string.
+    pub fn metric_fields_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{pad}\"workload\": {},\n",
+            json_string(&self.workload)
+        ));
+        s.push_str(&format!(
+            "{pad}\"instructions_per_core\": {},\n",
+            self.instructions_per_core
+        ));
+        s.push_str(&format!("{pad}\"points\": {},\n", self.points));
+        s.push_str(&format!(
+            "{pad}\"sim_cycles_total\": {},\n",
+            self.sim_cycles_total
+        ));
+        s.push_str(&format!("{pad}\"identical\": {},\n", self.identical));
+        s.push_str(&format!("{pad}\"point_metrics\": [\n"));
+        for (i, p) in self.point_metrics.iter().enumerate() {
+            let comma = if i + 1 < self.point_metrics.len() { "," } else { "" };
+            s.push_str(&format!(
+                "{pad}  {{\"label\": {}, \"cycles\": {}, \"baseline_cycles\": {}, \
+                 \"pcm_writes\": {}, \"cells_written\": {}}}{comma}\n",
+                json_string(&p.label),
+                p.cycles,
+                p.baseline_cycles,
+                p.pcm_writes,
+                p.cells_written,
+            ));
+        }
+        s.push_str(&format!("{pad}]"));
+        s
+    }
+}
+
+/// Minimal JSON string escaping (labels only contain ASCII, but be safe).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs the fixed grid serially and then on `jobs` workers, comparing the
+/// results bit-for-bit. `instructions_per_core` scales run length
+/// ([`BENCH_INSTRUCTIONS`] is the pinned default CI uses).
+///
+/// # Panics
+///
+/// Panics if the pinned workload is missing from the catalog.
+pub fn run_fixed_bench(jobs: usize, instructions_per_core: u64) -> BenchReport {
+    let wl = catalog::workload(BENCH_WORKLOAD).expect("bench workload in catalog");
+    let cfg = SystemConfig::default();
+    let axes = fixed_axes();
+    let opts = SimOptions::with_instructions(instructions_per_core);
+
+    let t0 = Instant::now();
+    let serial = run_sweep_jobs(
+        &wl,
+        cfg.clone(),
+        &axes,
+        SchemeSetup::fpb,
+        SchemeSetup::dimm_chip,
+        &opts,
+        1,
+    );
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_sweep_jobs(
+        &wl,
+        cfg,
+        &axes,
+        SchemeSetup::fpb,
+        SchemeSetup::dimm_chip,
+        &opts,
+        jobs,
+    );
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let identical = points_identical(&serial, &parallel);
+    let sim_cycles_total: u64 = serial
+        .iter()
+        .map(|p| p.metrics.cycles + p.baseline.cycles)
+        .sum();
+    let point_metrics = serial
+        .iter()
+        .map(|p| BenchPoint {
+            label: p.label.clone(),
+            cycles: p.metrics.cycles,
+            baseline_cycles: p.baseline.cycles,
+            pcm_writes: p.metrics.pcm_writes,
+            cells_written: p.metrics.cells_written,
+        })
+        .collect();
+    BenchReport {
+        workload: BENCH_WORKLOAD.to_string(),
+        instructions_per_core,
+        jobs,
+        points: serial.len(),
+        serial_ms: serial_s * 1e3,
+        parallel_ms: parallel_s * 1e3,
+        speedup: serial_s / parallel_s.max(1e-9),
+        points_per_sec: serial.len() as f64 / parallel_s.max(1e-9),
+        sim_cycles_total,
+        sim_cycles_per_sec: sim_cycles_total as f64 / serial_s.max(1e-9),
+        identical,
+        point_metrics,
+    }
+}
+
+/// Bit-for-bit comparison of two sweep result sets: same length, same
+/// labels in the same order, equal scheme and baseline `Metrics`.
+pub fn points_identical(a: &[SweepPoint], b: &[SweepPoint]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            x.label == y.label && x.metrics == y.metrics && x.baseline == y.baseline
+        })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bench_runs_and_matches() {
+        let r = run_fixed_bench(2, 4_000);
+        assert_eq!(r.points, 9);
+        assert!(r.identical, "parallel metrics diverged from serial");
+        assert_eq!(r.point_metrics.len(), 9);
+        assert!(r.sim_cycles_total > 0);
+        assert!(r.point_metrics.iter().all(|p| p.cycles > 0));
+    }
+
+    #[test]
+    fn json_has_wall_and_metric_sections() {
+        let r = run_fixed_bench(2, 3_000);
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"fpb-bench-sweep/v1\""));
+        assert!(j.contains("\"wall\""));
+        assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"point_metrics\""));
+        assert!(j.contains("\"identical\": true"));
+        // The metric subset must not mention wall-clock fields.
+        let m = r.metric_fields_json(0);
+        assert!(!m.contains("_ms"));
+        assert!(!m.contains("per_sec"));
+        assert!(!m.contains("jobs"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+}

@@ -21,7 +21,7 @@ use fpb_types::{Cycles, CoreId, LineAddr, SimRng, SystemConfig};
 use crate::bank::BankState;
 use crate::frontend::CoreState;
 use crate::metrics::Metrics;
-use crate::request::{split_rounds, ReadTask, WriteTask};
+use crate::request::{ReadTask, RoundSplitter, WriteTask};
 use crate::setup::SchemeSetup;
 
 /// Run-scale options.
@@ -115,6 +115,9 @@ pub struct System {
     /// fully disabled fault config leaves the engine bit-for-bit identical
     /// to a build without the fault subsystem.
     faults: Option<FaultInjector>,
+    /// Reusable round-splitting buffers (every dirty eviction is split;
+    /// the grouping scratch must not be reallocated per write).
+    splitter: RoundSplitter,
     /// When the current brownout window began (drives degraded mode).
     brownout_since: Option<Cycles>,
     /// Degraded mode: brownout persisted past the configured threshold, so
@@ -346,6 +349,7 @@ impl System {
             scrub_period: opts.scrub_period_cycles,
             next_scrub_at: Cycles::new(opts.scrub_period_cycles.unwrap_or(u64::MAX)),
             faults,
+            splitter: RoundSplitter::new(),
             brownout_since: None,
             degraded: false,
             metrics: Metrics {
@@ -972,14 +976,14 @@ impl System {
     }
 
     fn make_task(&mut self, line: LineAddr, core: usize, arrival: Cycles) -> WriteTask {
-        let profile = self.cores[core].data_profile().clone();
+        let profile = self.cores[core].data_profile();
         let mut changes = profile.sample_change_set(self.cfg.pcm.line_bytes, &mut self.data_rng);
         if let Some(wear) = self.wear.as_mut() {
             let offset = wear.offset_for_write(line, &mut self.data_rng);
             changes = changes.rotated(offset, self.cfg.pcm.cells_per_line());
         }
         let chips = self.cfg.pcm.chips;
-        let rounds_cs = split_rounds(
+        let rounds_cs = self.splitter.split(
             &changes,
             self.cap_total,
             self.cap_chip,

@@ -1,0 +1,125 @@
+//! A minimal worker pool for embarrassingly parallel simulation work.
+//!
+//! Sweep points and per-workload runs are independent, deterministic
+//! computations, so the only thing a parallel driver must guarantee is
+//! that results come back *in input order* regardless of which worker
+//! finished first. This module provides exactly that on scoped threads —
+//! no dependencies, no channels, no unsafe.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the machine's available parallelism, or 1
+/// when that cannot be determined (e.g. restricted sandboxes).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// Work distribution is a shared atomic cursor: each worker claims the
+/// next unclaimed index when it finishes its current item, so long items
+/// never leave idle workers behind (the useful half of work stealing
+/// without the deques). With `jobs <= 1` — or a single item — everything
+/// runs inline on the caller's thread, byte-for-byte the serial path.
+///
+/// # Panics
+///
+/// A panic inside `f` is propagated to the caller once all workers have
+/// stopped (scoped threads join on scope exit).
+pub fn parallel_map_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for jobs in [1, 2, 4, 8, 32] {
+            let out = parallel_map_indexed(&items, jobs, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let items = [1u32, 2, 3];
+        let out = parallel_map_indexed(&items, 64, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u32; 0] = [];
+        let out = parallel_map_indexed(&items, 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..200).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = parallel_map_indexed(&items, 1, f);
+        let parallel = parallel_map_indexed(&items, 7, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            parallel_map_indexed(&items, 4, |_, &x| {
+                assert!(x != 7, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+}

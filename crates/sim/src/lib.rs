@@ -14,6 +14,8 @@
 //! * [`setup`] — named scheme setups for every figure.
 //! * [`engine`] — the event loop.
 //! * [`metrics`] — CPI, write throughput, burst residency, power stats.
+//! * [`exec`] — the worker pool fanning independent runs across threads.
+//! * [`bench`] — the fixed self-measuring benchmark behind `fpb bench`.
 //!
 //! # Examples
 //!
@@ -34,7 +36,9 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod bank;
+pub mod bench;
 pub mod engine;
+pub mod exec;
 pub mod frontend;
 pub mod metrics;
 pub mod report;
@@ -43,7 +47,9 @@ pub mod setup;
 pub mod sweep;
 pub mod timeline;
 
+pub use bench::{run_fixed_bench, BenchReport};
 pub use engine::{run_workload, try_run_workload, SimOptions, System};
+pub use exec::{default_jobs, parallel_map_indexed};
 pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};
 pub use setup::SchemeSetup;

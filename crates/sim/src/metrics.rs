@@ -12,7 +12,9 @@ use fpb_core::PowerStats;
 /// let m = Metrics::default();
 /// assert_eq!(m.cycles, 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+/// `PartialEq`/`Eq` let determinism tests — and the parallel sweep's
+/// serial-equivalence guarantee — compare whole runs bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Total elapsed cycles until every core retired its instruction
     /// budget.

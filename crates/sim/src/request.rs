@@ -108,6 +108,9 @@ impl WriteTask {
 /// original per-chip balance; the split count grows until both caps hold.
 /// With no caps (the Ideal scheme) the original set is returned as a
 /// single round.
+///
+/// This is the one-shot convenience wrapper; the engine keeps a
+/// [`RoundSplitter`] whose grouping buffers persist across writes.
 pub fn split_rounds(
     changes: &ChangeSet,
     cap_total: Option<u64>,
@@ -115,58 +118,103 @@ pub fn split_rounds(
     mapping: fpb_pcm::CellMapping,
     chips: u8,
 ) -> Vec<ChangeSet> {
-    let n = changes.len() as u64;
-    if n == 0 || (cap_total.is_none() && cap_chip.is_none()) {
-        return vec![changes.clone()];
-    }
-    if let Some(cap) = cap_total {
-        assert!(cap > 0, "total token cap must be nonzero");
-    }
-    if let Some(cap) = cap_chip {
-        assert!(cap > 0, "chip token cap must be nonzero");
-    }
-
-    // Group cells by chip so dealing distributes each chip's cells evenly.
-    let mut by_chip: Vec<Vec<(u32, fpb_pcm::MlcLevel)>> = vec![Vec::new(); chips as usize];
-    for &(cell, level) in changes.iter() {
-        by_chip[mapping.chip_of(cell, chips).index()].push((cell, level));
-    }
-    let max_chip = by_chip.iter().map(Vec::len).max().unwrap_or(0) as u64;
-
-    let mut k = 1u64;
-    if let Some(cap) = cap_total {
-        k = k.max(n.div_ceil(cap));
-    }
-    if let Some(cap) = cap_chip {
-        k = k.max(max_chip.div_ceil(cap));
-    }
-    loop {
-        let rounds = deal(&by_chip, k as usize);
-        let fits = rounds.iter().all(|r| {
-            cap_total.is_none_or(|cap| r.len() as u64 <= cap)
-                && cap_chip.is_none_or(|cap| {
-                    mapping
-                        .distribute(r.iter().map(|&(c, _)| c), chips)
-                        .into_iter()
-                        .all(|c| c as u64 <= cap)
-                })
-        });
-        if fits {
-            return rounds.into_iter().map(ChangeSet::from_cells).collect();
-        }
-        k += 1;
-        assert!(k <= n, "split cannot exceed one cell per round");
-    }
+    RoundSplitter::new().split(changes, cap_total, cap_chip, mapping, chips)
 }
 
-fn deal(by_chip: &[Vec<(u32, fpb_pcm::MlcLevel)>], k: usize) -> Vec<Vec<(u32, fpb_pcm::MlcLevel)>> {
-    let mut rounds: Vec<Vec<(u32, fpb_pcm::MlcLevel)>> = vec![Vec::new(); k];
-    for chip_cells in by_chip {
-        for (j, &cl) in chip_cells.iter().enumerate() {
-            rounds[j % k].push(cl);
+/// Reusable working buffers for [`split_rounds`]. The engine splits every
+/// dirty eviction into rounds, so the per-chip grouping and dealing
+/// scratch would otherwise be reallocated on each write; only the returned
+/// [`ChangeSet`] rounds (which the caller keeps) are freshly allocated.
+#[derive(Debug, Clone, Default)]
+pub struct RoundSplitter {
+    /// Cells grouped by owning chip (outer len = chip count).
+    by_chip: Vec<Vec<(u32, fpb_pcm::MlcLevel)>>,
+    /// Dealt rounds under the current trial split count `k`.
+    rounds: Vec<Vec<(u32, fpb_pcm::MlcLevel)>>,
+    /// Per-chip tally for the chip-cap fit check.
+    per_chip: Vec<u32>,
+}
+
+impl RoundSplitter {
+    /// An empty splitter; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`split_rounds`].
+    pub fn split(
+        &mut self,
+        changes: &ChangeSet,
+        cap_total: Option<u64>,
+        cap_chip: Option<u64>,
+        mapping: fpb_pcm::CellMapping,
+        chips: u8,
+    ) -> Vec<ChangeSet> {
+        let n = changes.len() as u64;
+        if n == 0 || (cap_total.is_none() && cap_chip.is_none()) {
+            return vec![changes.clone()];
+        }
+        if let Some(cap) = cap_total {
+            assert!(cap > 0, "total token cap must be nonzero");
+        }
+        if let Some(cap) = cap_chip {
+            assert!(cap > 0, "chip token cap must be nonzero");
+        }
+
+        // Group cells by chip so dealing distributes each chip's cells
+        // evenly. Inner vectors are cleared, not dropped, between writes.
+        self.by_chip.iter_mut().for_each(Vec::clear);
+        self.by_chip.resize(chips as usize, Vec::new());
+        for &(cell, level) in changes.iter() {
+            self.by_chip[mapping.chip_of(cell, chips).index()].push((cell, level));
+        }
+        let max_chip = self.by_chip.iter().map(Vec::len).max().unwrap_or(0) as u64;
+
+        let mut k = 1u64;
+        if let Some(cap) = cap_total {
+            k = k.max(n.div_ceil(cap));
+        }
+        if let Some(cap) = cap_chip {
+            k = k.max(max_chip.div_ceil(cap));
+        }
+        loop {
+            let kk = k as usize;
+            self.deal(kk);
+            let fits = self.rounds[..kk].iter().all(|r| {
+                cap_total.is_none_or(|cap| r.len() as u64 <= cap)
+                    && cap_chip.is_none_or(|cap| {
+                        mapping.distribute_into(
+                            r.iter().map(|&(c, _)| c),
+                            chips,
+                            &mut self.per_chip,
+                        );
+                        self.per_chip.iter().all(|&c| c as u64 <= cap)
+                    })
+            });
+            if fits {
+                return self.rounds[..kk]
+                    .iter()
+                    .map(|r| ChangeSet::from_cells(r.clone()))
+                    .collect();
+            }
+            k += 1;
+            assert!(k <= n, "split cannot exceed one cell per round");
         }
     }
-    rounds
+
+    /// Deals the grouped cells round-robin into the first `k` round
+    /// buffers; buffers beyond `k` are kept (cleared) for reuse.
+    fn deal(&mut self, k: usize) {
+        if self.rounds.len() < k {
+            self.rounds.resize(k, Vec::new());
+        }
+        self.rounds.iter_mut().for_each(Vec::clear);
+        for chip_cells in &self.by_chip {
+            for (j, &cl) in chip_cells.iter().enumerate() {
+                self.rounds[j % k].push(cl);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,13 +8,20 @@
 use fpb_types::SystemConfig;
 
 use crate::engine::{run_workload_warmed, warm_cores, SimOptions};
+use crate::exec::parallel_map_indexed;
 use crate::metrics::Metrics;
 use crate::setup::SchemeSetup;
 use fpb_trace::Workload;
 
 /// One labeled variant of an axis: a point label and the configuration
 /// transformer that produces it.
-pub type Variant = (String, Box<dyn Fn(SystemConfig) -> SystemConfig>);
+///
+/// Transformers are `Send + Sync` so a sweep can be fanned across worker
+/// threads (they are pure config rewrites; all built-in axes qualify).
+pub type Variant = (
+    String,
+    Box<dyn Fn(SystemConfig) -> SystemConfig + Send + Sync>,
+);
 
 /// One axis of a sweep: a label and a configuration transformer.
 pub struct Axis {
@@ -41,7 +48,7 @@ impl Axis {
             variants: values
                 .iter()
                 .map(|&v| {
-                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig + Send + Sync> =
                         Box::new(move |c: SystemConfig| c.with_line_bytes(v));
                     (format!("{v}B"), f)
                 })
@@ -56,7 +63,7 @@ impl Axis {
             variants: values
                 .iter()
                 .map(|&v| {
-                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig + Send + Sync> =
                         Box::new(move |c: SystemConfig| c.with_llc_mib(v));
                     (format!("{v}M"), f)
                 })
@@ -71,7 +78,7 @@ impl Axis {
             variants: values
                 .iter()
                 .map(|&v| {
-                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig + Send + Sync> =
                         Box::new(move |c: SystemConfig| c.with_pt_dimm(v));
                     (format!("{v}t"), f)
                 })
@@ -86,7 +93,7 @@ impl Axis {
             variants: values
                 .iter()
                 .map(|&v| {
-                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig> =
+                    let f: Box<dyn Fn(SystemConfig) -> SystemConfig + Send + Sync> =
                         Box::new(move |c: SystemConfig| c.with_gcp_efficiency(v));
                     (format!("{v}"), f)
                 })
@@ -149,8 +156,34 @@ pub fn run_sweep(
     baseline: fn(&SystemConfig) -> SchemeSetup,
     opts: &SimOptions,
 ) -> Vec<SweepPoint> {
+    run_sweep_jobs(workload, base_cfg, axes, scheme, baseline, opts, 1)
+}
+
+/// [`run_sweep`] fanned across up to `jobs` worker threads.
+///
+/// Every grid point is an independent, deterministic simulation (each run
+/// seeds its own RNGs from the configuration), so the parallel sweep
+/// returns results **bit-for-bit identical** to the serial one, in the
+/// same odometer order — `jobs` only changes wall-clock time. With
+/// `jobs <= 1` the grid runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if `axes` is empty or any produced configuration is invalid
+/// (the validation happens up front, before any worker starts).
+pub fn run_sweep_jobs(
+    workload: &Workload,
+    base_cfg: SystemConfig,
+    axes: &[Axis],
+    scheme: fn(&SystemConfig) -> SchemeSetup,
+    baseline: fn(&SystemConfig) -> SchemeSetup,
+    opts: &SimOptions,
+    jobs: usize,
+) -> Vec<SweepPoint> {
     assert!(!axes.is_empty(), "sweep needs at least one axis");
-    let mut points = Vec::new();
+    // Enumerate the grid up front in odometer order; workers then claim
+    // points off this list, and results keep the enumeration order.
+    let mut grid: Vec<(String, SystemConfig)> = Vec::new();
     let mut index = vec![0usize; axes.len()];
     'grid: loop {
         // Build this point's config and label.
@@ -162,14 +195,7 @@ pub fn run_sweep(
             parts.push(format!("{}={}", a.name, name));
         }
         cfg.validate().expect("swept config invalid");
-        let cores = warm_cores(workload, &cfg, opts);
-        let base = run_workload_warmed(workload, &cfg, &baseline(&cfg), opts, &cores);
-        let m = run_workload_warmed(workload, &cfg, &scheme(&cfg), opts, &cores);
-        points.push(SweepPoint {
-            label: format!("{} [{}]", parts.join(","), scheme(&cfg).label),
-            metrics: m,
-            baseline: base,
-        });
+        grid.push((parts.join(","), cfg));
 
         // Odometer increment.
         for d in (0..axes.len()).rev() {
@@ -183,7 +209,16 @@ pub fn run_sweep(
             }
         }
     }
-    points
+    parallel_map_indexed(&grid, jobs, |_, (label, cfg)| {
+        let cores = warm_cores(workload, cfg, opts);
+        let base = run_workload_warmed(workload, cfg, &baseline(cfg), opts, &cores);
+        let m = run_workload_warmed(workload, cfg, &scheme(cfg), opts, &cores);
+        SweepPoint {
+            label: format!("{} [{}]", label, scheme(cfg).label),
+            metrics: m,
+            baseline: base,
+        }
+    })
 }
 
 #[cfg(test)]

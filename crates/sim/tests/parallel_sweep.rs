@@ -1,0 +1,99 @@
+//! Parallel sweep execution must be bit-for-bit identical to serial.
+//!
+//! The worker pool only changes *when* points run, never *what* they
+//! compute: every sim run seeds its RNGs from the point's config, so the
+//! grid is embarrassingly parallel and `--jobs N` must reproduce
+//! `--jobs 1` exactly — labels, ordering, and every `Metrics` field of
+//! both the scheme and baseline runs.
+
+use fpb_sim::sweep::{run_sweep_jobs, Axis, SweepPoint};
+use fpb_sim::{SchemeSetup, SimOptions};
+use fpb_trace::catalog;
+use fpb_types::{FaultConfig, SystemConfig};
+
+const INSTRUCTIONS: u64 = 3_000;
+
+/// The 2-axis grid (2×2 = 4 points) every test sweeps.
+fn grid_axes() -> Vec<Axis> {
+    vec![Axis::pt_dimm(&[466, 560]), Axis::e_gcp(&[0.6, 0.9])]
+}
+
+fn sweep(cfg: &SystemConfig, jobs: usize) -> Vec<SweepPoint> {
+    let wl = catalog::workload("mcf_m").expect("catalog workload");
+    let opts = SimOptions::with_instructions(INSTRUCTIONS);
+    run_sweep_jobs(
+        &wl,
+        cfg.clone(),
+        &grid_axes(),
+        SchemeSetup::fpb,
+        SchemeSetup::dimm_chip,
+        &opts,
+        jobs,
+    )
+}
+
+/// Full bit-for-bit comparison: same length, same labels in the same
+/// order, equal scheme and baseline `Metrics` at every point.
+fn assert_identical(serial: &[SweepPoint], parallel: &[SweepPoint], ctx: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{ctx}: point count differs");
+    for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+        assert_eq!(s.label, p.label, "{ctx}: label differs at point {i}");
+        assert_eq!(
+            s.metrics, p.metrics,
+            "{ctx}: scheme metrics differ at point {i} ({})",
+            s.label
+        );
+        assert_eq!(
+            s.baseline, p.baseline,
+            "{ctx}: baseline metrics differ at point {i} ({})",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn parallel_matches_serial_across_seeds() {
+    for seed in [1u64, 42, 0xF9B] {
+        let cfg = SystemConfig::default().with_seed(seed);
+        let serial = sweep(&cfg, 1);
+        assert_eq!(serial.len(), 4, "2x2 grid");
+        for jobs in [2, 4] {
+            let parallel = sweep(&cfg, jobs);
+            assert_identical(&serial, &parallel, &format!("seed {seed}, jobs {jobs}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_with_fault_injection() {
+    // Faults draw from per-run RNG streams seeded by the config, so
+    // injection must not break determinism either.
+    let mut cfg = SystemConfig::default().with_seed(7);
+    cfg.faults = FaultConfig {
+        verify_fail_prob: 0.25,
+        stuck_cell_prob: 0.01,
+        stuck_wear_threshold: 64,
+        brownout_period: 10_000,
+        brownout_duration: 2_000,
+        ..FaultConfig::default()
+    };
+    cfg.validate().expect("fault config valid");
+
+    let serial = sweep(&cfg, 1);
+    let parallel = sweep(&cfg, 4);
+    assert_identical(&serial, &parallel, "fault injection");
+    assert!(
+        serial
+            .iter()
+            .any(|p| p.metrics.faults.any_activity() || p.baseline.faults.any_activity()),
+        "fault knobs this aggressive must produce observable fault activity"
+    );
+}
+
+#[test]
+fn more_jobs_than_points_matches_serial() {
+    let cfg = SystemConfig::default().with_seed(99);
+    let serial = sweep(&cfg, 1);
+    let parallel = sweep(&cfg, 32);
+    assert_identical(&serial, &parallel, "jobs > points");
+}

@@ -79,13 +79,14 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 .iter()
                 .map(|(n, vs)| cli::build_axis(n, vs))
                 .collect();
-            let points = fpb::sim::sweep::run_sweep(
+            let points = fpb::sim::sweep::run_sweep_jobs(
                 &wl,
                 args.cfg.clone(),
                 &built.map_err(|e| e.to_string())?,
                 fpb::sim::SchemeSetup::fpb,
                 fpb::sim::SchemeSetup::dimm_chip,
                 &opts,
+                cli::effective_jobs(args.jobs),
             );
             println!("{:<40} {:>9} {:>9} {:>9}", "point", "speedup", "CPI", "burst%");
             for p in &points {
@@ -114,16 +115,51 @@ fn dispatch(cmd: Command) -> Result<(), String> {
         Command::Compare(ra) => {
             let (wl, opts) = resolve(&ra)?;
             let cores = warm_cores(&wl, &ra.cfg, &opts);
-            let mut baseline: Option<Metrics> = None;
+            // Scheme runs share the warmed cores and are independent, so
+            // they fan across workers; the first listed scheme is the
+            // speedup baseline either way.
+            let setups: Vec<_> = ["dimm-chip", "dimm-only", "pwl", "gcp", "gcp-ipm", "fpb", "ideal"]
+                .iter()
+                .map(|name| cli::build_scheme(name, &ra))
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+            let results = fpb::sim::parallel_map_indexed(
+                &setups,
+                cli::effective_jobs(ra.jobs),
+                |_, setup| run_workload_warmed(&wl, &ra.cfg, setup, &opts, &cores),
+            );
             print_header();
-            for name in ["dimm-chip", "dimm-only", "pwl", "gcp", "gcp-ipm", "fpb", "ideal"] {
-                let setup = cli::build_scheme(name, &ra).map_err(|e| e.to_string())?;
-                let m = run_workload_warmed(&wl, &ra.cfg, &setup, &opts, &cores);
-                print_metrics(&setup.label, &m, baseline.as_ref());
-                if baseline.is_none() {
-                    baseline = Some(m);
-                }
+            for (i, (setup, m)) in setups.iter().zip(&results).enumerate() {
+                let baseline: Option<&Metrics> = if i == 0 { None } else { Some(&results[0]) };
+                print_metrics(&setup.label, m, baseline);
             }
+            Ok(())
+        }
+        Command::Bench {
+            jobs,
+            instructions,
+            out,
+        } => {
+            let jobs = cli::effective_jobs(jobs);
+            let report = fpb::sim::run_fixed_bench(jobs, instructions);
+            std::fs::write(&out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+            println!(
+                "bench: {} points on {} ({} instructions/core)",
+                report.points, report.workload, report.instructions_per_core
+            );
+            println!(
+                "  serial   {:>9.1} ms   ({:.0} sim cycles/sec)",
+                report.serial_ms, report.sim_cycles_per_sec
+            );
+            println!(
+                "  parallel {:>9.1} ms   ({} jobs, {:.2}x speedup, {:.2} points/sec)",
+                report.parallel_ms, report.jobs, report.speedup, report.points_per_sec
+            );
+            println!("  wrote {out}");
+            if !report.identical {
+                return Err("parallel sweep metrics diverged from the serial sweep".into());
+            }
+            println!("  parallel metrics identical to serial: ok");
             Ok(())
         }
     }

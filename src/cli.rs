@@ -5,6 +5,8 @@
 //!
 //! * `run` — simulate a workload under a scheme and print metrics.
 //! * `compare` — run every major scheme on one workload.
+//! * `bench` — run the fixed self-measuring sweep and emit
+//!   `BENCH_sweep.json`.
 //! * `list` — list catalog workloads, programs, and scheme names.
 //! * `record` — record a program's synthetic trace to an FPBT file.
 
@@ -30,6 +32,16 @@ pub enum Command {
         axes: Vec<(String, String)>,
         /// Optional CSV output path.
         csv: Option<String>,
+    },
+    /// `fpb bench [--jobs N] [--instructions N] [--out FILE]`
+    Bench {
+        /// Worker threads for the parallel pass (`None` = machine
+        /// parallelism).
+        jobs: Option<usize>,
+        /// Per-core instruction budget of each grid run.
+        instructions: u64,
+        /// Output path for the JSON report.
+        out: String,
     },
     /// `fpb list`
     List,
@@ -67,6 +79,9 @@ pub struct RunArgs {
     pub wt: Option<u32>,
     /// Run the opt-in token-conservation auditor (`--audit-ledger`).
     pub audit_ledger: bool,
+    /// Worker threads for sweep/compare fan-out (`--jobs`; `None` = use
+    /// the machine's available parallelism).
+    pub jobs: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -81,8 +96,15 @@ impl Default for RunArgs {
             wp: false,
             wt: None,
             audit_ledger: false,
+            jobs: None,
         }
     }
+}
+
+/// Resolves an optional `--jobs` value: explicit wins, otherwise the
+/// machine's available parallelism.
+pub fn effective_jobs(jobs: Option<usize>) -> usize {
+    jobs.unwrap_or_else(fpb_sim::default_jobs).max(1)
 }
 
 /// Error from parsing or resolving arguments.
@@ -192,6 +214,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out: out.ok_or(CliError("record requires --out".into()))?,
             })
         }
+        "bench" => {
+            let mut jobs = None;
+            let mut instructions = fpb_sim::bench::BENCH_INSTRUCTIONS;
+            let mut out = "BENCH_sweep.json".to_string();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, CliError> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
+                    "--instructions" => {
+                        instructions = parse_num(&value("--instructions")?, "--instructions")?
+                    }
+                    "--out" => out = value("--out")?,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Bench {
+                jobs,
+                instructions,
+                out,
+            })
+        }
         "run" | "compare" | "sweep" => {
             let mut ra = RunArgs::default();
             let mut axes = Vec::new();
@@ -291,6 +338,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             parse_num(&value("--fault-degraded-after")?, "--fault-degraded-after")?
                     }
                     "--audit-ledger" => ra.audit_ledger = true,
+                    "--jobs" => ra.jobs = Some(parse_jobs(&value("--jobs")?)?),
                     "--axis" if sub == "sweep" => {
                         let spec = value("--axis")?;
                         let (name, vals) = spec.split_once('=').ok_or_else(|| {
@@ -337,6 +385,14 @@ fn parse_float(s: &str, flag: &str) -> Result<f64, CliError> {
         .map_err(|_| CliError(format!("{flag} must be a number, got `{s}`")))
 }
 
+fn parse_jobs(s: &str) -> Result<usize, CliError> {
+    let n = parse_num(s, "--jobs")? as usize;
+    if n == 0 {
+        return Err(CliError("--jobs must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 /// Simulation options derived from parsed args.
 pub fn sim_options(args: &RunArgs) -> SimOptions {
     let mut opts = SimOptions::with_instructions(args.instructions);
@@ -380,10 +436,21 @@ USAGE:
   fpb run     --workload <name> --scheme <name> [options]
   fpb compare --workload <name> [options]
   fpb sweep   --workload <name> --axis <name=v1,v2,..> [--axis ..] [--csv out.csv] [options]
+  fpb bench   [--jobs <n>] [--instructions <n>] [--out BENCH_sweep.json]
   fpb list
   fpb record  --program <C.mcf|...> --ops <n> --out <file.fpbt>
 
 SWEEP AXES: line-bytes, llc-mib, pt-dimm, e-gcp (FPB vs DIMM+chip per point)
+
+PARALLELISM:
+  --jobs <n>           worker threads for sweep points / compare schemes
+                       [machine parallelism]; results are bit-for-bit
+                       identical to --jobs 1, in the same order
+
+BENCH: runs a pinned 3x3 sweep grid (pt-dimm x e-gcp on mcf_m) serially
+  and in parallel, checks the results match bit-for-bit, and writes wall
+  time, points/sec, speedup, and sim cycles/sec to BENCH_sweep.json.
+  Exits nonzero if parallel and serial metrics diverge.
 
 OPTIONS (run/compare):
   --instructions <n>   instructions per core        [200000]
@@ -565,6 +632,68 @@ mod tests {
         }
         assert!(build_axis("warp", "1").is_err());
         assert!(build_axis("pt-dimm", "many").is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        let cmd = parse(&v(&[
+            "sweep",
+            "--workload",
+            "lbm_m",
+            "--axis",
+            "pt-dimm=466,560",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Sweep { args, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(args.jobs, Some(4));
+        assert_eq!(effective_jobs(args.jobs), 4);
+        assert!(effective_jobs(None) >= 1);
+        assert!(parse(&v(&["sweep", "--axis", "pt-dimm=1", "--jobs", "0"])).is_err());
+        let Command::Compare(ra) = parse(&v(&["compare", "--jobs", "2"])).unwrap() else {
+            panic!("expected Compare")
+        };
+        assert_eq!(ra.jobs, Some(2));
+    }
+
+    #[test]
+    fn bench_parses_with_defaults_and_overrides() {
+        let Command::Bench {
+            jobs,
+            instructions,
+            out,
+        } = parse(&v(&["bench"])).unwrap()
+        else {
+            panic!("expected Bench")
+        };
+        assert_eq!(jobs, None);
+        assert_eq!(instructions, fpb_sim::bench::BENCH_INSTRUCTIONS);
+        assert_eq!(out, "BENCH_sweep.json");
+        let Command::Bench {
+            jobs,
+            instructions,
+            out,
+        } = parse(&v(&[
+            "bench",
+            "--jobs",
+            "8",
+            "--instructions",
+            "10_000",
+            "--out",
+            "/tmp/b.json",
+        ]))
+        .unwrap()
+        else {
+            panic!("expected Bench")
+        };
+        assert_eq!(jobs, Some(8));
+        assert_eq!(instructions, 10_000);
+        assert_eq!(out, "/tmp/b.json");
+        assert!(parse(&v(&["bench", "--bogus"])).is_err());
+        assert!(parse(&v(&["bench", "--jobs", "0"])).is_err());
     }
 
     #[test]

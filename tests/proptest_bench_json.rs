@@ -1,0 +1,33 @@
+//! Property: `fpb bench` emits the same deterministic metric fields no
+//! matter how many workers run the sweep. The `wall` section may differ
+//! run to run (it measures time), but [`BenchReport::metric_fields_json`]
+//! — workload, points, per-point metrics, the `identical` flag — must be
+//! byte-identical between `--jobs 1` and `--jobs N`.
+//!
+//! [`BenchReport::metric_fields_json`]: fpb::sim::BenchReport::metric_fields_json
+
+use proptest::prelude::*;
+
+use fpb::sim::run_fixed_bench;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn metric_fields_identical_across_job_counts(
+        jobs in 2usize..9,
+        instructions in 1_000u64..2_000,
+    ) {
+        let serial = run_fixed_bench(1, instructions);
+        let parallel = run_fixed_bench(jobs, instructions);
+
+        prop_assert!(serial.identical, "serial report flagged divergence");
+        prop_assert!(parallel.identical, "parallel report flagged divergence");
+        prop_assert_eq!(
+            serial.metric_fields_json(2),
+            parallel.metric_fields_json(2),
+            "metric fields diverged between jobs=1 and jobs={}",
+            jobs
+        );
+    }
+}
