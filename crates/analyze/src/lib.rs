@@ -1,0 +1,168 @@
+//! # fpb-analyze: project-specific static analysis for the FPB workspace
+//!
+//! A hand-rolled, zero-registry-dependency Rust source scanner enforcing
+//! the invariants FPB's results depend on but the compiler cannot see:
+//!
+//! * **Determinism** — no wall-clock, environment reads, or randomized
+//!   hash iteration in the simulation crates (`fpb-core`, `fpb-sim`,
+//!   `fpb-pcm`), whose outputs feed the serial-vs-parallel bit-equality
+//!   gate.
+//! * **Panic-freedom** — no `unwrap`/`expect`/`panic!`-family in the
+//!   engine/ledger/manager hot paths outside test code.
+//! * **Power accounting** — no narrowing `as` casts or exact float
+//!   equality on token/energy/cycle values.
+//! * **Unsafe hygiene** — every `unsafe` carries a `// SAFETY:` comment,
+//!   and crates with no `unsafe` lock that in with
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Existing debt is allowlisted in a checked-in ratchet baseline
+//! (`lint-baseline.toml`) whose per-rule counts may only decrease; new
+//! violations fail with `file:line` diagnostics. See [`rules::Rule`] for
+//! the catalog and DESIGN.md for the rationale of each rule.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fpb_analyze::{baseline::Baseline, baseline::check_ratchet, rules::scan_source};
+//!
+//! let src = "fn hot(x: Option<u8>) -> u8 { x.unwrap() }";
+//! let violations = scan_source("crates/core/src/hot.rs", "core", src);
+//! assert_eq!(violations.len(), 1);
+//! let report = check_ratchet(&violations, &Baseline::empty());
+//! assert!(!report.ok());
+//! ```
+//!
+//! The CLI entry point is `fpb lint`; CI runs it as a blocking job with
+//! `--format json` and uploads the report artifact.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+use rules::{Rule, Violation};
+
+/// The result of scanning a workspace tree.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every violation found, in (file, line) order.
+    pub violations: Vec<Violation>,
+}
+
+/// Scans every source file under `root` (see [`walk::collect_sources`]
+/// for what is included) and applies the whole rule catalog, including
+/// the per-crate [`Rule::MissingForbidUnsafe`] check.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn scan_root(root: &Path) -> io::Result<ScanResult> {
+    let sources = walk::collect_sources(root)?;
+    let mut violations = Vec::new();
+    // crate key → (has any `unsafe` token, root file seen, root has forbid,
+    // root rel path).
+    let mut crates: std::collections::BTreeMap<String, CrateUnsafeInfo> =
+        std::collections::BTreeMap::new();
+    for src_file in &sources {
+        let text = std::fs::read_to_string(&src_file.abs_path)?;
+        violations.extend(rules::scan_source(
+            &src_file.rel_path,
+            &src_file.crate_key,
+            &text,
+        ));
+        let info = crates.entry(src_file.crate_key.clone()).or_default();
+        info.has_unsafe |= lexer::lex(&text)
+            .tokens
+            .iter()
+            .any(|t| t.is_ident("unsafe"));
+        if src_file.rel_path.ends_with("src/lib.rs") {
+            info.root_file = Some(src_file.rel_path.clone());
+            info.root_has_forbid = text.contains("#![forbid(unsafe_code)]");
+            info.root_allows_rule = text.contains("fpb-lint: allow-file(missing_forbid_unsafe)");
+        }
+    }
+    for (key, info) in &crates {
+        if let Some(root_file) = &info.root_file {
+            if !info.has_unsafe && !info.root_has_forbid && !info.root_allows_rule {
+                violations.push(Violation {
+                    rule: Rule::MissingForbidUnsafe,
+                    file: root_file.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{key}` contains no unsafe code but its root lacks \
+                         #![forbid(unsafe_code)]"
+                    ),
+                });
+            }
+        }
+    }
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    Ok(ScanResult {
+        files_scanned: sources.len(),
+        violations,
+    })
+}
+
+#[derive(Debug, Default)]
+struct CrateUnsafeInfo {
+    has_unsafe: bool,
+    root_file: Option<String>,
+    root_has_forbid: bool,
+    root_allows_rule: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{check_ratchet, Baseline};
+
+    /// The repo root, two levels above this crate's manifest.
+    fn repo_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn workspace_scan_matches_checked_in_baseline() {
+        // The real gate: the workspace must be clean against the
+        // checked-in ratchet. This is the same check `fpb lint` and CI
+        // run, so a regression fails the unit suite too.
+        let root = repo_root();
+        let result = scan_root(&root).expect("scan workspace");
+        assert!(result.files_scanned > 50, "suspiciously few files scanned");
+        let text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+            .expect("lint-baseline.toml at repo root");
+        let baseline = Baseline::parse(&text).expect("parse baseline");
+        let report = check_ratchet(&result.violations, &baseline);
+        assert!(
+            report.ok(),
+            "lint regressed:\n{}",
+            report::render_text(&report, result.files_scanned)
+        );
+    }
+
+    #[test]
+    fn violations_are_sorted_and_stable() {
+        let root = repo_root();
+        let a = scan_root(&root).expect("scan");
+        let b = scan_root(&root).expect("scan");
+        assert_eq!(a.violations, b.violations, "scan must be deterministic");
+        let mut sorted = a.violations.clone();
+        sorted.sort_by(|x, y| (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule)));
+        assert_eq!(a.violations, sorted);
+    }
+}

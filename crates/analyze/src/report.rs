@@ -1,0 +1,201 @@
+//! Diagnostic rendering: human-readable text and the machine-readable
+//! JSON report CI uploads as an artifact.
+
+use crate::baseline::RatchetReport;
+use crate::rules::Rule;
+
+/// Schema tag of the JSON report.
+pub const JSON_SCHEMA: &str = "fpb-lint/v1";
+
+/// Renders the full ratchet verdict as text diagnostics.
+///
+/// Regressed rules list every violation as `file:line: rule: message` (so
+/// editors and CI logs link straight to the source); clean and improved
+/// rules get a one-line summary.
+pub fn render_text(report: &RatchetReport, files_scanned: usize) -> String {
+    let mut s = String::new();
+    for o in &report.outcomes {
+        if o.regressed() {
+            s.push_str(&format!(
+                "rule {} REGRESSED: {} violation(s), baseline allows {}\n",
+                o.rule, o.count, o.allowed
+            ));
+            s.push_str(&format!("  rationale: {}\n", o.rule.rationale()));
+            for v in &o.violations {
+                s.push_str(&format!("  {}:{}: {}: {}\n", v.file, v.line, v.rule, v.message));
+            }
+        }
+    }
+    for o in report.improvements() {
+        s.push_str(&format!(
+            "rule {} improved: {} violation(s), baseline allows {} — run \
+             `fpb lint --update-baseline` to ratchet down\n",
+            o.rule, o.count, o.allowed
+        ));
+    }
+    let (total, debt): (u64, u64) = report
+        .outcomes
+        .iter()
+        .fold((0, 0), |(t, d), o| (t + o.count, d + o.count.min(o.allowed)));
+    s.push_str(&format!(
+        "fpb lint: {} file(s), {} violation(s) ({} allowlisted) — {}\n",
+        files_scanned,
+        total,
+        debt,
+        if report.ok() { "OK" } else { "FAILED" }
+    ));
+    s
+}
+
+/// Renders the machine-readable JSON report.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "schema": "fpb-lint/v1",
+///   "files_scanned": 93,
+///   "ok": true,
+///   "rules": [
+///     {"rule": "panic_freedom", "count": 2, "baseline": 2, "regressed": false,
+///      "violations": [{"file": "...", "line": 7, "message": "..."}]}
+///   ]
+/// }
+/// ```
+pub fn render_json(report: &RatchetReport, files_scanned: usize) -> String {
+    let mut s = String::with_capacity(2048);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", json_string(JSON_SCHEMA)));
+    s.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    s.push_str(&format!("  \"ok\": {},\n", report.ok()));
+    s.push_str("  \"rules\": [\n");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"rule\": {}, ", json_string(o.rule.name())));
+        s.push_str(&format!("\"count\": {}, ", o.count));
+        s.push_str(&format!("\"baseline\": {}, ", o.allowed));
+        s.push_str(&format!("\"regressed\": {}, ", o.regressed()));
+        s.push_str("\"violations\": [");
+        for (j, v) in o.violations.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&v.file),
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < report.outcomes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping (paths and messages are ASCII in
+/// practice, but escape defensively).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The rule catalog as text (for `fpb lint --rules`).
+pub fn render_rule_catalog() -> String {
+    let mut s = String::from("fpb lint rules:\n");
+    for rule in Rule::ALL {
+        s.push_str(&format!("  {:<24} {}\n", rule.name(), rule.rationale()));
+    }
+    s.push_str(
+        "\nsuppress intentional exceptions with `// fpb-lint: allow(rule)` (this \
+         line + next)\nor `// fpb-lint: allow-file(rule)`; allowlist existing debt \
+         in lint-baseline.toml\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{check_ratchet, Baseline};
+    use crate::rules::Violation;
+
+    fn sample_report(count: usize, allowed: u64) -> RatchetReport {
+        let vs: Vec<Violation> = (0..count)
+            .map(|i| Violation {
+                rule: Rule::PanicFreedom,
+                file: "crates/core/src/ledger.rs".into(),
+                line: i as u32 + 1,
+                message: "`.unwrap()` can panic; use a typed error path".into(),
+            })
+            .collect();
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert("panic_freedom".to_string(), allowed);
+        check_ratchet(&vs, &Baseline::from_counts(counts))
+    }
+
+    #[test]
+    fn text_lists_regressions_with_file_line() {
+        let r = sample_report(2, 1);
+        let text = render_text(&r, 10);
+        assert!(text.contains("panic_freedom REGRESSED"));
+        assert!(text.contains("crates/core/src/ledger.rs:1:"));
+        assert!(text.contains("crates/core/src/ledger.rs:2:"));
+        assert!(text.contains("FAILED"));
+    }
+
+    #[test]
+    fn text_notes_improvements() {
+        let r = sample_report(1, 5);
+        let text = render_text(&r, 10);
+        assert!(text.contains("improved"));
+        assert!(text.contains("--update-baseline"));
+        assert!(text.contains("OK"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let r = sample_report(2, 1);
+        let j = render_json(&r, 42);
+        assert!(j.contains("\"schema\": \"fpb-lint/v1\""));
+        assert!(j.contains("\"files_scanned\": 42"));
+        assert!(j.contains("\"ok\": false"));
+        assert!(j.contains("\"rule\": \"panic_freedom\""));
+        assert!(j.contains("\"count\": 2"));
+        assert!(j.contains("\"baseline\": 1"));
+        // Every rule appears, even clean ones.
+        for rule in Rule::ALL {
+            assert!(j.contains(&format!("\"rule\": \"{}\"", rule.name())), "{rule}");
+        }
+        // Crude balance check on braces/brackets (no parser available).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn catalog_names_every_rule() {
+        let c = render_rule_catalog();
+        for rule in Rule::ALL {
+            assert!(c.contains(rule.name()), "{rule}");
+        }
+    }
+}

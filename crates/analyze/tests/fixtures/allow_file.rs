@@ -1,0 +1,12 @@
+//! Allow-file fixture: a file-wide directive silences every occurrence of
+//! the named rule, so this file expects zero violations.
+
+// fpb-lint: allow-file(hash_order)
+
+use std::collections::HashMap;
+
+pub type Index = HashMap<u64, u64>;
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,31 @@
+//! Determinism fixture: wall-clock and environment reads that would break
+//! the serial-vs-parallel bit-equality gate. Tilde markers name expected hits.
+
+use std::time::Instant; //~ determinism
+use std::time::SystemTime; //~ determinism
+
+pub fn wall_elapsed() -> f64 {
+    let t0 = Instant::now(); //~ determinism
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn wall_epoch() -> SystemTime { //~ determinism
+    SystemTime::now() //~ determinism
+}
+
+pub fn jobs_from_env() -> Option<String> {
+    std::env::var("FPB_JOBS").ok() //~ determinism
+}
+
+pub fn compile_time_env_is_fine() -> &'static str {
+    env!("CARGO_PKG_NAME")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,32 @@
+//! Float-equality fixture: exact `==`/`!=` against float literals.
+//! Tilde markers name expected hits.
+
+pub fn eq_right(e: f64) -> bool {
+    e == 0.5 //~ float_eq
+}
+
+pub fn eq_left(e: f64) -> bool {
+    0.25 == e //~ float_eq
+}
+
+pub fn ne_right(e: f64) -> bool {
+    e != 1.0 //~ float_eq
+}
+
+pub fn integers_are_fine(n: u64) -> bool {
+    n == 3
+}
+
+pub fn comparisons_are_fine(e: f64) -> bool {
+    e <= 0.5 && e >= 0.25
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_expectations_fine_in_tests() {
+        assert!(super::eq_right(0.5));
+        let x = 0.5f64;
+        assert!(x == 0.5);
+    }
+}

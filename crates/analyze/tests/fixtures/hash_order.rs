@@ -1,0 +1,22 @@
+//! Hash-order fixture: randomized-iteration containers in simulation
+//! code. Tilde markers name expected hits.
+
+use std::collections::HashMap; //~ hash_order
+use std::collections::HashSet; //~ hash_order
+
+pub fn build() -> HashMap<u32, u32> { //~ hash_order
+    HashMap::new() //~ hash_order
+}
+
+pub fn ordered_is_fine() -> std::collections::BTreeMap<u32, u32> {
+    std::collections::BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hashes_fine_in_tests() {
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(1u32));
+    }
+}

@@ -1,0 +1,42 @@
+//! Panic-freedom fixture: seeded violations for the lint-engine tests.
+//! Never compiled — the `fixtures/` directory is excluded from cargo
+//! targets and from `fpb lint`'s own workspace walk. Lines expected to
+//! violate carry a trailing tilde marker naming the rule.
+
+pub fn hot_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() //~ panic_freedom
+}
+
+pub fn hot_expect(x: Result<u8, ()>) -> u8 {
+    x.expect("always ok") //~ panic_freedom
+}
+
+pub fn dead_ends(code: u8) -> u8 {
+    match code {
+        0 => panic!("zero"), //~ panic_freedom
+        1 => unreachable!(), //~ panic_freedom
+        2 => todo!(), //~ panic_freedom
+        3 => unimplemented!(), //~ panic_freedom
+        n => n,
+    }
+}
+
+pub fn not_method_calls() {
+    // A binding named `unwrap` is not a call, and a doc string mentioning
+    // .unwrap() is not code.
+    let unwrap = 1;
+    let _ = unwrap;
+    let _ = "call .unwrap() for fun and profit";
+}
+
+// fpb-lint: allow(panic_freedom) — exercised by the fixture test
+pub fn allowed(x: Option<u8>) -> u8 { x.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        Some(1).unwrap();
+        panic!("panics are fine in test code");
+    }
+}

@@ -1,0 +1,32 @@
+//! Truncating-cast fixture: narrowing `as` casts on power-accounting
+//! values. Tilde markers name expected hits.
+
+pub fn tokens_low_word(tokens: u64) -> u32 {
+    tokens as u32 //~ truncating_cast
+}
+
+pub fn cycle_low_byte(cycle: u64) -> u8 {
+    cycle as u8 //~ truncating_cast
+}
+
+pub fn energy_packed(energy_units: u64) -> i16 {
+    energy_units as i16 //~ truncating_cast
+}
+
+pub fn unrelated_narrowing(x: u64) -> u32 {
+    // No accounting term anywhere here, so the rule stays quiet.
+    x as u32
+}
+
+pub fn widening_is_fine(tokens: u32) -> u64 {
+    tokens as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn narrowing_fine_in_tests() {
+        let tokens = 7u64;
+        assert_eq!(tokens as u32, 7);
+    }
+}

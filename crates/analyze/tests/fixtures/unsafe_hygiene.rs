@@ -1,0 +1,20 @@
+//! Unsafe-hygiene fixture: `unsafe` with and without a `// SAFETY:`
+//! justification. Applies in test code too. Tilde markers name expected hits.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe_no_safety
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn still_checked_in_tests() {
+        let x = 1u8;
+        let _ = unsafe { *(&x as *const u8) }; //~ unsafe_no_safety
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests of the ratchet: for every rule and any counts, the
+//! baseline check accepts at-or-below and rejects any increase — there is
+//! no input on which new debt slips through.
+
+// Integration-test crate: unwraps on test data are the assertion.
+#![allow(clippy::unwrap_used)]
+
+use std::collections::BTreeMap;
+
+use fpb_analyze::baseline::{check_ratchet, Baseline};
+use fpb_analyze::rules::{Rule, Violation};
+use proptest::prelude::*;
+
+fn violations(rule: Rule, n: u64) -> Vec<Violation> {
+    (0..n)
+        .map(|i| Violation {
+            rule,
+            file: "crates/core/src/x.rs".into(),
+            line: i as u32 + 1,
+            message: "seeded".into(),
+        })
+        .collect()
+}
+
+fn baseline_of(rule: Rule, allowed: u64) -> Baseline {
+    let mut counts = BTreeMap::new();
+    counts.insert(rule.name().to_string(), allowed);
+    Baseline::from_counts(counts)
+}
+
+proptest! {
+    #[test]
+    fn ratchet_never_accepts_an_increase(
+        allowed in 0u64..40,
+        excess in 1u64..40,
+        rule_idx in 0usize..Rule::ALL.len(),
+    ) {
+        let rule = Rule::ALL[rule_idx];
+        let report = check_ratchet(
+            &violations(rule, allowed + excess),
+            &baseline_of(rule, allowed),
+        );
+        prop_assert!(!report.ok(), "{rule}: {} > {allowed} accepted", allowed + excess);
+        prop_assert_eq!(report.regressions().count(), 1);
+    }
+
+    #[test]
+    fn ratchet_accepts_at_or_below(
+        allowed in 0u64..40,
+        used in 0u64..40,
+        rule_idx in 0usize..Rule::ALL.len(),
+    ) {
+        let rule = Rule::ALL[rule_idx];
+        let used = used.min(allowed);
+        let report = check_ratchet(&violations(rule, used), &baseline_of(rule, allowed));
+        prop_assert!(report.ok());
+        prop_assert_eq!(report.regressions().count(), 0);
+    }
+
+    #[test]
+    fn unlisted_rules_tolerate_zero_only(
+        count in 1u64..40,
+        rule_idx in 0usize..Rule::ALL.len(),
+    ) {
+        let rule = Rule::ALL[rule_idx];
+        let report = check_ratchet(&violations(rule, count), &Baseline::empty());
+        prop_assert!(!report.ok(), "{rule}: {count} violations passed an empty baseline");
+    }
+
+    #[test]
+    fn tightened_baseline_roundtrips_and_is_exact(
+        count in 0u64..40,
+        rule_idx in 0usize..Rule::ALL.len(),
+    ) {
+        let rule = Rule::ALL[rule_idx];
+        let vs = violations(rule, count);
+        let tightened = check_ratchet(&vs, &Baseline::empty()).tightened_baseline();
+        // Exact: the same scan passes, one more violation regresses.
+        prop_assert!(check_ratchet(&vs, &tightened).ok());
+        let more = violations(rule, count + 1);
+        prop_assert!(!check_ratchet(&more, &tightened).ok());
+        // And the checked-in TOML form parses back to the same baseline.
+        let reparsed = Baseline::parse(&tightened.to_toml()).unwrap();
+        prop_assert_eq!(reparsed, tightened);
+    }
+}

@@ -3,6 +3,9 @@
 //! trace generation. These guard the simulator's own performance — a run
 //! regenerating all figures makes hundreds of millions of these calls.
 
+// Bench-only target: unwrap on known-good fixtures is the clearest failure mode.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

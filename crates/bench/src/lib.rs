@@ -15,6 +15,9 @@
 //! `FPB_JOBS` to pin the worker count; it defaults to the machine's
 //! available parallelism.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use fpb_sim::engine::{run_workload_warmed, warm_cores};
 use fpb_sim::exec::{default_jobs, parallel_map_indexed};
 use fpb_sim::metrics::gmean;

@@ -26,6 +26,9 @@
 //! assert_eq!(out.level, HitLevel::L1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod hierarchy;
 pub mod set_assoc;
 pub mod stats;

@@ -357,8 +357,7 @@ impl Ledger {
                 self.chips_avail[i] - self.scratch.lcp[i] - self.scratch.borrowed[i];
         }
         if !gcp_total.is_zero() {
-            let avail = self.gcp_avail.expect("checked above");
-            self.gcp_avail = Some(avail - gcp_total);
+            self.gcp_avail = self.gcp_avail.map(|avail| avail - gcp_total);
         }
         if let Some(avail) = self.dimm_avail {
             self.dimm_avail = Some(avail - dimm_raw);

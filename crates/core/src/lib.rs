@@ -41,9 +41,10 @@
 //! pm.release(id);
 //! ```
 
-// Budget bookkeeping must fail loudly through typed errors, not panics:
-// warn on every unwrap so new ones get justified in review.
-#![warn(clippy::unwrap_used)]
+// clippy::unwrap_used comes from [workspace.lints]; unwraps in tests are
+// fine, only hot-path code must justify them.
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod budget;
 pub mod config;

@@ -1,6 +1,6 @@
 //! The power manager: admission and per-iteration budgeting of writes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use fpb_pcm::{DimmGeometry, IterKind, LineWrite};
@@ -60,7 +60,9 @@ pub struct PowerManager {
     cfg: PowerPolicyConfig,
     geom: DimmGeometry,
     ledger: Ledger,
-    holds: HashMap<WriteId, Grant>,
+    /// Keyed by a `BTreeMap` so audit iteration order (and thus any
+    /// diagnostics derived from it) is deterministic.
+    holds: BTreeMap<WriteId, Grant>,
     stats: PowerStats,
     /// When set, token conservation is re-verified after every grant and
     /// release (see [`PowerManager::enable_audit`]).
@@ -111,7 +113,7 @@ impl PowerManager {
             cfg,
             geom: *geom,
             ledger,
-            holds: HashMap::new(),
+            holds: BTreeMap::new(),
             stats: PowerStats::default(),
             audit: false,
             audit_violations: 0,
@@ -353,10 +355,14 @@ impl PowerManager {
         out: &mut Vec<Tokens>,
     ) {
         let c = self.cfg.reset_set_ratio;
-        let next = write
-            .next_demand()
-            .expect("allocating for a completed write");
         out.clear();
+        let Some(next) = write.next_demand() else {
+            // A completed write demands nothing. Unreachable from the
+            // engine (completed writes release, they don't allocate), but a
+            // zero grant is benign where a panic would not be.
+            out.resize(self.cfg.chips as usize, Tokens::ZERO);
+            return;
+        };
         match next.kind {
             IterKind::Reset { .. } => {
                 out.extend(next.per_chip.iter().map(|&n| Tokens::from_cells(n as u64)));
@@ -371,13 +377,20 @@ impl PowerManager {
             }
             IterKind::Set { .. } => {
                 let lagged = write.iterations_done() - 1; // i - 2, 0-based done count
-                let per_chip = write
-                    .per_chip_unfinished_after(lagged)
-                    .expect("SET >= 2 implies all RESET groups fired");
                 let chips = self.cfg.chips as usize;
                 out.resize(chips, Tokens::ZERO);
-                for (o, &n) in out.iter_mut().zip(per_chip.iter()) {
-                    *o = Tokens::from_cells(n as u64).div_ratio(c);
+                if let Some(per_chip) = write.per_chip_unfinished_after(lagged) {
+                    for (o, &n) in out.iter_mut().zip(per_chip.iter()) {
+                        *o = Tokens::from_cells(n as u64).div_ratio(c);
+                    }
+                } else {
+                    // No lagged report yet (SET ≥ 2 implies the RESET groups
+                    // fired, so this is unreachable); fall back to the full
+                    // change count, which can only over-reserve.
+                    write.per_chip_changed_into(counts);
+                    for (o, &n) in out.iter_mut().zip(counts.iter()) {
+                        *o = Tokens::from_cells(n as u64).div_ratio(c);
+                    }
                 }
             }
         }

@@ -115,6 +115,9 @@ impl EnduranceTracker {
     pub fn chip_imbalance(&self) -> f64 {
         let max = *self.per_chip.iter().max().expect("chips nonempty") as f64;
         let mean = self.total_cells_written() as f64 / self.per_chip.len() as f64;
+        // `mean` is an integer sum over a nonzero count: it is exactly 0.0
+        // iff no cells were written, so exact equality is the right guard.
+        // fpb-lint: allow(float_eq)
         if mean == 0.0 {
             0.0
         } else {

@@ -37,6 +37,7 @@ impl DimmGeometry {
         assert!(chips > 0, "chip count must be nonzero");
         assert!(cells_per_line > 0, "cells per line must be nonzero");
         assert_eq!(
+            // u8 → u32 widens, it cannot truncate. fpb-lint: allow(truncating_cast)
             cells_per_line % chips as u32,
             0,
             "cells per line must divide evenly across chips"
@@ -59,6 +60,7 @@ impl DimmGeometry {
 
     /// Cells of each line held by a single chip.
     pub fn cells_per_chip(&self) -> u32 {
+        // u8 → u32 widens, it cannot truncate. fpb-lint: allow(truncating_cast)
         self.cells_per_line / self.chips as u32
     }
 
@@ -73,6 +75,7 @@ impl DimmGeometry {
     pub fn reset_group_of(&self, cell: u32, groups: u8) -> u8 {
         assert!(groups > 0, "group count must be nonzero");
         let within = cell % CELLS_PER_CHUNK;
+        // u8 → u32 widens, it cannot truncate. fpb-lint: allow(truncating_cast)
         let per_group = CELLS_PER_CHUNK.div_ceil(groups as u32);
         ((within / per_group) as u8).min(groups - 1)
     }

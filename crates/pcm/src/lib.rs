@@ -38,6 +38,9 @@
 //! assert!(write.total_iterations() >= 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cell;
 pub mod drift;
 pub mod endurance;

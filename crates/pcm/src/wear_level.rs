@@ -37,7 +37,8 @@ use fpb_types::SimRng;
 pub struct IntraLineWearLeveler {
     shift_period: u32,
     cells_per_line: u32,
-    lines: std::collections::HashMap<u64, LineState>,
+    // BTreeMap: iteration/debug order must not depend on hasher state.
+    lines: std::collections::BTreeMap<u64, LineState>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -60,7 +61,7 @@ impl IntraLineWearLeveler {
         IntraLineWearLeveler {
             shift_period,
             cells_per_line,
-            lines: std::collections::HashMap::new(),
+            lines: std::collections::BTreeMap::new(),
         }
     }
 
@@ -75,6 +76,8 @@ impl IntraLineWearLeveler {
         });
         state.writes_since_shift += 1;
         if state.writes_since_shift > period {
+            // The draw is below `cells: u32`, so the narrowing is lossless.
+            // fpb-lint: allow(truncating_cast)
             state.offset = rng.u64_below(cells as u64) as u32;
             state.writes_since_shift = 1;
         }

@@ -7,6 +7,10 @@
 //! sim cycles/sec tracks single-threaded engine throughput, and the
 //! `identical` flag is the determinism guarantee CI enforces.
 
+// This module *measures wall-clock speedup* of the parallel sweep; the
+// timings are reporting-only and never feed simulation results, which the
+// serial-vs-parallel `identical` gate below proves.
+// fpb-lint: allow-file(determinism)
 use std::time::Instant;
 
 use fpb_trace::catalog;

@@ -693,8 +693,9 @@ impl System {
             while i < self.rdq.len() {
                 let bank = self.rdq[i].bank.index();
                 if self.banks[bank].state.accepts_read() {
-                    let r = self.rdq.remove(i).expect("index in range");
-                    self.issue_read(r);
+                    if let Some(r) = self.rdq.remove(i) {
+                        self.issue_read(r);
+                    }
                 } else {
                     i += 1;
                 }
@@ -709,17 +710,18 @@ impl System {
                 let free =
                     self.banks[bank].state.accepts_write() && self.banks[bank].parked.is_none();
                 if free {
-                    let mut task = self.wrq.remove(i).expect("index in range");
-                    if self.power.try_admit(task.id, task.round_mut()) {
-                        self.metrics.write_queue_delay +=
-                            self.now.saturating_sub(task.arrival).get();
-                        task.round_started_at = self.now;
-                        self.issue_write(bank, task);
-                        continue; // same index now holds the next entry
+                    if let Some(mut task) = self.wrq.remove(i) {
+                        if self.power.try_admit(task.id, task.round_mut()) {
+                            self.metrics.write_queue_delay +=
+                                self.now.saturating_sub(task.arrival).get();
+                            task.round_started_at = self.now;
+                            self.issue_write(bank, task);
+                            continue; // same index now holds the next entry
+                        }
+                        // Not admissible: put it back and scan on
+                        // (out-of-order write scheduling over the queue).
+                        self.wrq.insert(i, task);
                     }
-                    // Not admissible: put it back and scan on
-                    // (out-of-order write scheduling over the queue).
-                    self.wrq.insert(i, task);
                 }
                 i += 1;
             }
@@ -758,11 +760,12 @@ impl System {
                 && self.banks[b].parked.is_some()
                 && (self.burst || !self.bank_has_waiting_read(b))
             {
-                let task = self.banks[b].parked.take().expect("checked some");
-                if self.power.try_advance(task.id, task.round()) {
-                    self.start_iteration(b, task, false);
-                } else {
-                    self.banks[b].parked = Some(task);
+                if let Some(task) = self.banks[b].parked.take() {
+                    if self.power.try_advance(task.id, task.round()) {
+                        self.start_iteration(b, task, false);
+                    } else {
+                        self.banks[b].parked = Some(task);
+                    }
                 }
             }
         }

@@ -31,9 +31,10 @@
 //! assert!(m.cycles > 0);
 //! ```
 
-// The engine's recovery paths exist so faults degrade service instead of
-// crashing it: warn on every unwrap so new ones get justified in review.
-#![warn(clippy::unwrap_used)]
+// clippy::unwrap_used comes from [workspace.lints]; unwraps in tests are
+// fine, only hot-path code must justify them.
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod bank;
 pub mod bench;

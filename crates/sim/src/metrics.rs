@@ -165,6 +165,9 @@ impl Metrics {
         let max = *self.per_chip_cells.iter().max().expect("nonempty") as f64;
         let mean = self.per_chip_cells.iter().sum::<u64>() as f64
             / self.per_chip_cells.len() as f64;
+        // `mean` is an integer sum over a nonzero count: it is exactly 0.0
+        // iff no cells were written, so exact equality is the right guard.
+        // fpb-lint: allow(float_eq)
         if mean == 0.0 {
             0.0
         } else {

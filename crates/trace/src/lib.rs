@@ -29,6 +29,9 @@
 //! assert!(op.gap_instructions > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod access;
 pub mod catalog;
 pub mod data_model;

@@ -83,6 +83,7 @@ impl SystemConfig {
                 ),
             ));
         }
+        // u8 → u32 widens, it cannot truncate. fpb-lint: allow(truncating_cast)
         if !self.pcm.cells_per_line().is_multiple_of(self.pcm.chips as u32) {
             return Err(ConfigError::new(
                 "pcm.chips",
@@ -317,6 +318,7 @@ impl PcmConfig {
 
     /// Number of cells of one line held by each chip.
     pub fn cells_per_chip_per_line(&self) -> u32 {
+        // u8 → u32 widens, it cannot truncate. fpb-lint: allow(truncating_cast)
         self.cells_per_line() / self.chips as u32
     }
 

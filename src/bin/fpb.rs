@@ -9,7 +9,8 @@
 
 use std::process::ExitCode;
 
-use fpb::cli::{self, Command, RunArgs};
+use fpb::analyze::{baseline::Baseline, baseline::check_ratchet, report, scan_root};
+use fpb::cli::{self, Command, LintArgs, RunArgs};
 use fpb::sim::engine::{run_workload_warmed, warm_cores};
 use fpb::sim::Metrics;
 use fpb::trace::catalog;
@@ -162,6 +163,51 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             println!("  parallel metrics identical to serial: ok");
             Ok(())
         }
+        Command::Lint(la) => run_lint(&la),
+    }
+}
+
+fn run_lint(la: &LintArgs) -> Result<(), String> {
+    if la.rules {
+        print!("{}", report::render_rule_catalog());
+        return Ok(());
+    }
+    let root = std::path::Path::new(&la.root);
+    let baseline_path = {
+        let p = std::path::Path::new(&la.baseline);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            root.join(p)
+        }
+    };
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let baseline = Baseline::parse(&baseline_text)?;
+    let scan = scan_root(root).map_err(|e| format!("scan {}: {e}", root.display()))?;
+    let ratchet = check_ratchet(&scan.violations, &baseline);
+    let rendered = if la.json {
+        report::render_json(&ratchet, scan.files_scanned)
+    } else {
+        report::render_text(&ratchet, scan.files_scanned)
+    };
+    print!("{rendered}");
+    if let Some(out) = &la.out {
+        std::fs::write(out, &rendered).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    if la.update_baseline {
+        if !ratchet.ok() {
+            return Err("refusing to update the baseline while rules are regressed".into());
+        }
+        let tightened = ratchet.tightened_baseline();
+        std::fs::write(&baseline_path, tightened.to_toml())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        eprintln!("updated {}", baseline_path.display());
+    }
+    if ratchet.ok() {
+        Ok(())
+    } else {
+        Err("lint found regressions past the ratchet baseline".into())
     }
 }
 

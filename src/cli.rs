@@ -9,6 +9,8 @@
 //!   `BENCH_sweep.json`.
 //! * `list` — list catalog workloads, programs, and scheme names.
 //! * `record` — record a program's synthetic trace to an FPBT file.
+//! * `lint` — run the project's static-analysis rules (`fpb-analyze`)
+//!   against the checked-in ratchet baseline.
 
 use std::fmt;
 
@@ -54,8 +56,40 @@ pub enum Command {
         /// Output path.
         out: String,
     },
+    /// `fpb lint [options]`
+    Lint(LintArgs),
     /// `fpb help`
     Help,
+}
+
+/// Options for `fpb lint`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintArgs {
+    /// Workspace root to scan.
+    pub root: String,
+    /// Ratchet baseline path (relative paths resolve against `root`).
+    pub baseline: String,
+    /// Emit the machine-readable JSON report instead of text diagnostics.
+    pub json: bool,
+    /// Also write the report to this file.
+    pub out: Option<String>,
+    /// Rewrite the baseline to the current (never higher) counts.
+    pub update_baseline: bool,
+    /// Print the rule catalog and exit.
+    pub rules: bool,
+}
+
+impl Default for LintArgs {
+    fn default() -> Self {
+        LintArgs {
+            root: ".".into(),
+            baseline: "lint-baseline.toml".into(),
+            json: false,
+            out: None,
+            update_baseline: false,
+            rules: false,
+        }
+    }
 }
 
 /// Options shared by `run` and `compare`.
@@ -238,6 +272,36 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 instructions,
                 out,
             })
+        }
+        "lint" => {
+            let mut la = LintArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, CliError> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--root" => la.root = value("--root")?,
+                    "--baseline" => la.baseline = value("--baseline")?,
+                    "--format" => {
+                        la.json = match value("--format")?.as_str() {
+                            "json" => true,
+                            "text" => false,
+                            other => {
+                                return Err(CliError(format!(
+                                    "--format must be `text` or `json`, got `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    "--out" => la.out = Some(value("--out")?),
+                    "--update-baseline" => la.update_baseline = true,
+                    "--rules" => la.rules = true,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Lint(la))
         }
         "run" | "compare" | "sweep" => {
             let mut ra = RunArgs::default();
@@ -439,6 +503,8 @@ USAGE:
   fpb bench   [--jobs <n>] [--instructions <n>] [--out BENCH_sweep.json]
   fpb list
   fpb record  --program <C.mcf|...> --ops <n> --out <file.fpbt>
+  fpb lint    [--format text|json] [--out <file>] [--update-baseline] [--rules]
+              [--root <dir>] [--baseline lint-baseline.toml]
 
 SWEEP AXES: line-bytes, llc-mib, pt-dimm, e-gcp (FPB vs DIMM+chip per point)
 
@@ -476,6 +542,12 @@ FAULT INJECTION (run/compare; all off by default):
   --fault-degraded-after <n>     browned-out cycles before SLC  [0 = never]
   --audit-ledger                 check token conservation after every
                                  grant/release (reports violations)
+
+LINT: scans the workspace sources for determinism, panic-freedom,
+  power-accounting, and unsafe-hygiene violations (see `fpb lint --rules`)
+  and checks the counts against the ratchet baseline. Exits nonzero on any
+  regression. After burning down debt, `--update-baseline` tightens the
+  checked-in counts.
 ";
 
 #[cfg(test)]
@@ -747,5 +819,47 @@ mod tests {
         assert!(s.write_cancellation && s.write_pausing);
         assert_eq!(s.truncation_ecc, Some(8));
         assert_eq!(s.mapping, CellMapping::Naive);
+    }
+
+    #[test]
+    fn lint_defaults() {
+        let cmd = parse(&v(&["lint"])).unwrap();
+        assert_eq!(cmd, Command::Lint(LintArgs::default()));
+        let Command::Lint(la) = cmd else { unreachable!() };
+        assert_eq!(la.root, ".");
+        assert_eq!(la.baseline, "lint-baseline.toml");
+        assert!(!la.json && !la.update_baseline && !la.rules);
+        assert!(la.out.is_none());
+    }
+
+    #[test]
+    fn lint_with_options() {
+        let cmd = parse(&v(&[
+            "lint",
+            "--format",
+            "json",
+            "--out",
+            "lint.json",
+            "--root",
+            "/repo",
+            "--baseline",
+            "debt.toml",
+            "--update-baseline",
+        ]))
+        .unwrap();
+        let Command::Lint(la) = cmd else {
+            panic!("expected lint")
+        };
+        assert!(la.json && la.update_baseline);
+        assert_eq!(la.out.as_deref(), Some("lint.json"));
+        assert_eq!(la.root, "/repo");
+        assert_eq!(la.baseline, "debt.toml");
+    }
+
+    #[test]
+    fn lint_rejects_bad_flags() {
+        assert!(parse(&v(&["lint", "--format", "xml"])).is_err());
+        assert!(parse(&v(&["lint", "--format"])).is_err());
+        assert!(parse(&v(&["lint", "--workload", "x"])).is_err());
     }
 }

@@ -49,8 +49,12 @@
 //! system inventory and the documented substitutions (synthetic traces for
 //! PIN traces, the two-population write-iteration model, etc.).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cli;
 
+pub use fpb_analyze as analyze;
 pub use fpb_cache as cache;
 pub use fpb_core as power;
 pub use fpb_pcm as pcm;

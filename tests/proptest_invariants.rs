@@ -1,6 +1,9 @@
 //! Property-based tests (proptest) on the core data structures and
 //! cross-crate invariants.
 
+// Test-only crate: unwrap on known-good values is the clearest failure mode.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use fpb::pcm::{CellMapping, ChangeSet, DimmGeometry, IterationSampler, LineWrite, MlcLevel};
