@@ -11,7 +11,9 @@ use std::hint::black_box;
 
 use fpb_cache::SetAssocCache;
 use fpb_core::{Ledger, PowerManager, PowerPolicyConfig, WriteId};
-use fpb_pcm::{CellMapping, ChangeSet, DimmGeometry, IterationSampler, LineWrite, MlcLevel};
+use fpb_pcm::{
+    CellMapping, ChangeSet, DimmGeometry, IterationSampler, LineWrite, MlcLevel, WriteBufferPool,
+};
 use fpb_trace::{catalog, CoreTraceGenerator};
 use fpb_types::{MlcWriteModel, PowerConfig, SimRng, Tokens};
 
@@ -119,5 +121,65 @@ fn bench_trace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache, bench_line_write, bench_ledger, bench_trace);
+/// Word-level change sampling vs the retained per-bit reference — the
+/// tentpole speedup `fpb bench` tracks in `BENCH_hotpath.json`.
+fn bench_change_sampling(c: &mut Criterion) {
+    let data = catalog::program("C.mcf").expect("profile").data;
+
+    let mut rng = SimRng::seed_from(0xDA7A);
+    let mut out = ChangeSet::empty();
+    c.bench_function("trace/change_sampling_words", |b| {
+        b.iter(|| {
+            data.sample_change_set_into(256, &mut rng, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    let mut rng = SimRng::seed_from(0xDA7A);
+    c.bench_function("trace/change_sampling_perbit_reference", |b| {
+        b.iter(|| black_box(data.sample_change_set_reference(256, &mut rng)))
+    });
+}
+
+/// Pooled `LineWrite` construction vs fresh allocation per write.
+fn bench_line_write_pooled(c: &mut Criterion) {
+    let geom = DimmGeometry::new(8, 1024);
+    let sampler = IterationSampler::new(MlcWriteModel::default());
+    let cells: Vec<(u32, MlcLevel)> = (0..256u32).map(|i| (i * 4, MlcLevel::L01)).collect();
+
+    let mut pool = WriteBufferPool::new();
+    let mut rng = SimRng::seed_from(0x9C3);
+    c.bench_function("pcm/line_write_pooled", |b| {
+        b.iter(|| {
+            let w = pool.build(&cells, &geom, CellMapping::Bim, &sampler, &mut rng, 1);
+            let iters = w.total_iterations();
+            pool.recycle(w);
+            black_box(iters)
+        })
+    });
+
+    let mut rng = SimRng::seed_from(0x9C3);
+    c.bench_function("pcm/line_write_fresh", |b| {
+        b.iter(|| {
+            black_box(LineWrite::from_cells(
+                &cells,
+                &geom,
+                CellMapping::Bim,
+                &sampler,
+                &mut rng,
+                1,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_line_write,
+    bench_line_write_pooled,
+    bench_ledger,
+    bench_trace,
+    bench_change_sampling
+);
 criterion_main!(benches);

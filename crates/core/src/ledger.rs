@@ -122,6 +122,10 @@ struct GrantScratch {
     gcp: Vec<Tokens>,
     borrowed: Vec<Tokens>,
     order: Vec<usize>,
+    /// Spent grants returned via [`Ledger::recycle_grant`], reused so a
+    /// successful grant does not allocate its three vectors. Bounded by
+    /// the number of concurrently held grants (one per in-flight write).
+    free: Vec<Grant>,
 }
 
 impl Ledger {
@@ -362,15 +366,25 @@ impl Ledger {
         if let Some(avail) = self.dimm_avail {
             self.dimm_avail = Some(avail - dimm_raw);
         }
-        Some(Grant {
-            lcp: self.scratch.lcp.clone(),
-            gcp: self.scratch.gcp.clone(),
-            gcp_total,
-            gcp_raw,
-            borrowed: self.scratch.borrowed.clone(),
-            dimm_raw,
-            flat: Tokens::ZERO,
-        })
+        let mut grant = self.scratch.free.pop().unwrap_or_default();
+        grant.lcp.clear();
+        grant.lcp.extend_from_slice(&self.scratch.lcp);
+        grant.gcp.clear();
+        grant.gcp.extend_from_slice(&self.scratch.gcp);
+        grant.borrowed.clear();
+        grant.borrowed.extend_from_slice(&self.scratch.borrowed);
+        grant.gcp_total = gcp_total;
+        grant.gcp_raw = gcp_raw;
+        grant.dimm_raw = dimm_raw;
+        grant.flat = Tokens::ZERO;
+        Some(grant)
+    }
+
+    /// Returns a spent grant's backing storage to the ledger so the next
+    /// [`Ledger::try_grant_chips`] reuses it instead of allocating.
+    /// Optional: an unrecycled grant is simply dropped.
+    pub fn recycle_grant(&mut self, grant: Grant) {
+        self.scratch.free.push(grant);
     }
 
     /// Returns a grant's tokens to the ledger.

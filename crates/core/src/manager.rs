@@ -1,6 +1,5 @@
 //! The power manager: admission and per-iteration budgeting of writes.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use fpb_pcm::{DimmGeometry, IterKind, LineWrite};
@@ -60,9 +59,12 @@ pub struct PowerManager {
     cfg: PowerPolicyConfig,
     geom: DimmGeometry,
     ledger: Ledger,
-    /// Keyed by a `BTreeMap` so audit iteration order (and thus any
-    /// diagnostics derived from it) is deterministic.
-    holds: BTreeMap<WriteId, Grant>,
+    /// Outstanding grants, sorted by `WriteId`. At most one grant exists
+    /// per in-flight write (bounded by the bank count), so a sorted `Vec`
+    /// beats a tree map on the per-iteration grant/release path while
+    /// keeping audit iteration order (and any diagnostics derived from
+    /// it) deterministic.
+    holds: Vec<(WriteId, Grant)>,
     stats: PowerStats,
     /// When set, token conservation is re-verified after every grant and
     /// release (see [`PowerManager::enable_audit`]).
@@ -113,7 +115,7 @@ impl PowerManager {
             cfg,
             geom: *geom,
             ledger,
-            holds: BTreeMap::new(),
+            holds: Vec::new(),
             stats: PowerStats::default(),
             audit: false,
             audit_violations: 0,
@@ -236,7 +238,7 @@ impl PowerManager {
     /// violation (the ledger clamps and stays consistent) rather than
     /// propagated — release sites must always succeed in freeing the hold.
     pub fn release(&mut self, id: WriteId) {
-        if let Some(grant) = self.holds.remove(&id) {
+        if let Some(grant) = self.take_hold(id) {
             if grant.used_gcp() {
                 self.stats.note_gcp_release(grant.gcp_total);
             }
@@ -244,21 +246,38 @@ impl PowerManager {
                 self.record_violation(e);
             }
             self.audit_now();
+            self.ledger.recycle_grant(grant);
         }
     }
 
     /// True if the write currently holds tokens.
     pub fn holds_tokens(&self, id: WriteId) -> bool {
-        self.holds.contains_key(&id)
+        self.holds.binary_search_by_key(&id, |e| e.0).is_ok()
     }
 
     // ---- internals ----
+
+    /// Removes and returns `id`'s grant, keeping `holds` sorted.
+    fn take_hold(&mut self, id: WriteId) -> Option<Grant> {
+        match self.holds.binary_search_by_key(&id, |e| e.0) {
+            Ok(i) => Some(self.holds.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts (or replaces) `id`'s grant, keeping `holds` sorted.
+    fn put_hold(&mut self, id: WriteId, grant: Grant) {
+        match self.holds.binary_search_by_key(&id, |e| e.0) {
+            Ok(i) => self.holds[i].1 = grant,
+            Err(i) => self.holds.insert(i, (id, grant)),
+        }
+    }
 
     /// Computes and commits the allocation covering the write from its
     /// current position: the *next iteration* under IPM, or the whole
     /// write under per-write budgeting.
     fn try_allocate_next(&mut self, id: WriteId, write: &LineWrite) -> bool {
-        debug_assert!(!self.holds.contains_key(&id), "{id} double allocation");
+        debug_assert!(!self.holds_tokens(id), "{id} double allocation");
         // The scratch buffers are taken out for the duration of the call so
         // `&self` demand helpers can fill them while the ledger is borrowed.
         let mut per_chip = std::mem::take(&mut self.demand_scratch);
@@ -288,7 +307,7 @@ impl PowerManager {
                 if g.used_gcp() {
                     self.stats.note_gcp_grant(g.gcp_total, g.gcp_raw);
                 }
-                self.holds.insert(id, g);
+                self.put_hold(id, g);
                 self.audit_now();
                 true
             }
@@ -314,7 +333,7 @@ impl PowerManager {
         per_chip.clear();
         per_chip.resize(chips, Tokens::ZERO);
         let mut gcp = Tokens::ZERO;
-        for grant in self.holds.values() {
+        for (_, grant) in &self.holds {
             dimm += grant.dimm_raw;
             gcp += grant.gcp_total;
             for (acc, (&l, &b)) in per_chip

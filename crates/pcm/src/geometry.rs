@@ -74,6 +74,12 @@ impl DimmGeometry {
     /// Panics if `groups` is zero.
     pub fn reset_group_of(&self, cell: u32, groups: u8) -> u8 {
         assert!(groups > 0, "group count must be nonzero");
+        if groups == 1 {
+            // The non-Multi-RESET common case: every cell is in group 0.
+            // This runs once per changed cell on the write hot path, where
+            // the two divisions below would dominate.
+            return 0;
+        }
         let within = cell % CELLS_PER_CHUNK;
         // u8 → u32 widens, it cannot truncate. fpb-lint: allow(truncating_cast)
         let per_group = CELLS_PER_CHUNK.div_ceil(groups as u32);

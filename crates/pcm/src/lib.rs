@@ -61,7 +61,7 @@ pub use endurance::EnduranceTracker;
 pub use faults::FaultInjector;
 pub use charge_pump::ChargePump;
 pub use geometry::DimmGeometry;
-pub use line_write::{ChangeSet, IterKind, IterationDemand, LineWrite};
+pub use line_write::{ChangeSet, IterKind, IterationDemand, LineWrite, WriteBufferPool};
 pub use mapping::CellMapping;
 pub use wear_level::IntraLineWearLeveler;
 pub use write_model::IterationSampler;

@@ -60,6 +60,34 @@ impl ChangeSet {
         self.cells.iter()
     }
 
+    /// The `(cell index, target level)` pairs as a slice.
+    pub fn cells(&self) -> &[(u32, MlcLevel)] {
+        &self.cells
+    }
+
+    /// Removes all cells, keeping the backing storage for reuse.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+    }
+
+    /// Appends one `(cell index, target level)` pair.
+    pub fn push(&mut self, cell: u32, level: MlcLevel) {
+        self.cells.push((cell, level));
+    }
+
+    /// Shifts every cell by a wear-leveling rotation `offset` in place
+    /// (cells wrap modulo `cells_per_line`), without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_per_line` is zero.
+    pub fn rotate_in_place(&mut self, offset: u32, cells_per_line: u32) {
+        assert!(cells_per_line > 0, "cells_per_line must be nonzero");
+        for (c, _) in &mut self.cells {
+            *c = (*c + offset) % cells_per_line;
+        }
+    }
+
     /// Returns the change set shifted by a wear-leveling rotation `offset`
     /// (cells wrap modulo `cells_per_line`).
     ///
@@ -68,14 +96,9 @@ impl ChangeSet {
     /// Panics if `cells_per_line` is zero.
     #[must_use]
     pub fn rotated(&self, offset: u32, cells_per_line: u32) -> ChangeSet {
-        assert!(cells_per_line > 0, "cells_per_line must be nonzero");
-        ChangeSet {
-            cells: self
-                .cells
-                .iter()
-                .map(|&(c, l)| ((c + offset) % cells_per_line, l))
-                .collect(),
-        }
+        let mut out = self.clone();
+        out.rotate_in_place(offset, cells_per_line);
+        out
     }
 }
 
@@ -153,14 +176,14 @@ pub struct IterationDemand<'a> {
 /// w.advance();
 /// assert!(w.is_complete());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineWrite {
     chips: u8,
     reset_groups: u8,
     total_changed: u32,
-    /// `(cell index, chip)` per changed cell, kept so Multi-RESET can
-    /// re-split the RESET before the write starts.
-    cell_chips: Vec<(u16, u8)>,
+    /// `(cell index, chip, sampled iteration count)` per changed cell,
+    /// kept so Multi-RESET can re-split the RESET before the write starts.
+    cell_chips: Vec<(u16, u8, u32)>,
     /// `[group]` → total changed cells in that RESET group.
     reset_totals: Vec<u32>,
     /// `[group * chips + chip]` → changed cells of that group on that chip.
@@ -193,47 +216,106 @@ impl LineWrite {
         rng: &mut SimRng,
         reset_groups: u8,
     ) -> Self {
+        Self::from_cells(changes.cells(), geom, mapping, sampler, rng, reset_groups)
+    }
+
+    /// [`LineWrite::new`] over a raw cell slice, with freshly allocated
+    /// backing storage. See [`WriteBufferPool::build`] for the pooled
+    /// variant; both produce identical writes given the same RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reset_groups` is zero.
+    pub fn from_cells(
+        cells: &[(u32, MlcLevel)],
+        geom: &DimmGeometry,
+        mapping: CellMapping,
+        sampler: &IterationSampler,
+        rng: &mut SimRng,
+        reset_groups: u8,
+    ) -> Self {
+        Self::build_with(
+            WriteBuffers::default(),
+            cells,
+            geom,
+            mapping,
+            sampler,
+            rng,
+            reset_groups,
+        )
+    }
+
+    /// Shared construction core: fills `bufs` (cleared first, so recycled
+    /// storage is safe) with the per-iteration demand tables for `cells`.
+    fn build_with(
+        bufs: WriteBuffers,
+        cells: &[(u32, MlcLevel)],
+        geom: &DimmGeometry,
+        mapping: CellMapping,
+        sampler: &IterationSampler,
+        rng: &mut SimRng,
+        reset_groups: u8,
+    ) -> Self {
         assert!(reset_groups > 0, "reset_groups must be nonzero");
         let chips = geom.chips();
         let n_chips = chips as usize;
         let m = reset_groups as usize;
 
-        let mut reset_totals = vec![0u32; m];
-        let mut reset_per_chip = vec![0u32; m * n_chips];
-        let mut max_iters = 1u32;
-        // (chip, iters) per changed cell; small scratch reused below.
-        let mut cell_info: Vec<(usize, u32)> = Vec::with_capacity(changes.len());
-        let mut cell_chips: Vec<(u16, u8)> = Vec::with_capacity(changes.len());
+        let WriteBuffers {
+            mut cell_chips,
+            mut reset_totals,
+            mut reset_per_chip,
+            mut set_totals,
+            mut set_per_chip,
+        } = bufs;
+        cell_chips.clear();
+        cell_chips.reserve(cells.len());
+        reset_totals.clear();
+        reset_totals.resize(m, 0u32);
+        reset_per_chip.clear();
+        reset_per_chip.resize(m * n_chips, 0u32);
 
-        for &(cell, level) in changes.iter() {
+        let mut max_iters = 1u32;
+        for &(cell, level) in cells {
             let chip = mapping.chip_of(cell, chips).index();
             let group = geom.reset_group_of(cell, reset_groups) as usize;
             let iters = sampler.sample(level, rng);
             reset_totals[group] += 1;
             reset_per_chip[group * n_chips + chip] += 1;
             max_iters = max_iters.max(iters);
-            cell_info.push((chip, iters));
-            cell_chips.push((cell as u16, chip as u8));
+            cell_chips.push((cell as u16, chip as u8, iters));
         }
 
         // SET iteration j (1-based) pulses cells whose total iteration count
-        // is at least j + 1. Build the tables with suffix sums.
+        // is at least j + 1 — i.e. a cell with `iters` total participates in
+        // SET rows 0..iters-1. Rather than incrementing every row a cell
+        // touches (O(cells × iters)), mark each cell only at its *last* row
+        // and suffix-sum downward (O(cells + rows × chips)).
         let set_iters = (max_iters - 1) as usize;
-        let mut set_totals = vec![0u32; set_iters];
-        let mut set_per_chip = vec![0u32; set_iters * n_chips];
-        for &(chip, iters) in &cell_info {
-            // This cell participates in SET iterations 1..=iters-1.
-            for j in 1..iters {
-                let idx = (j - 1) as usize;
-                set_totals[idx] += 1;
-                set_per_chip[idx * n_chips + chip] += 1;
+        set_totals.clear();
+        set_totals.resize(set_iters, 0u32);
+        set_per_chip.clear();
+        set_per_chip.resize(set_iters * n_chips, 0u32);
+        for &(_, chip, iters) in &cell_chips {
+            if iters >= 2 {
+                let last = (iters - 2) as usize;
+                set_totals[last] += 1;
+                set_per_chip[last * n_chips + chip as usize] += 1;
+            }
+        }
+        for idx in (0..set_iters.saturating_sub(1)).rev() {
+            set_totals[idx] += set_totals[idx + 1];
+            for c in 0..n_chips {
+                set_per_chip[idx * n_chips + c] += set_per_chip[(idx + 1) * n_chips + c];
             }
         }
 
         LineWrite {
             chips,
             reset_groups,
-            total_changed: changes.len() as u32,
+            // A line holds at most a few thousand cells, far below u32.
+            // fpb-lint: allow(truncating_cast)
+            total_changed: cells.len() as u32,
             cell_chips,
             reset_totals,
             reset_per_chip,
@@ -338,20 +420,15 @@ impl LineWrite {
         }
     }
 
-    /// Marks the current iteration finished and returns its kind.
+    /// Marks the current iteration finished and returns its kind, or
+    /// `None` if the write is already complete (a completed write has no
+    /// iteration to advance; the call is a no-op).
     ///
     /// Applies write truncation if enabled: after finishing an iteration,
     /// if the cells that would be pulsed next number at most the ECC
     /// threshold, the write completes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on a completed write.
-    pub fn advance(&mut self) -> IterKind {
-        let demand = self
-            .next_demand()
-            .expect("advance() called on a completed write");
-        let kind = demand.kind;
+    pub fn advance(&mut self) -> Option<IterKind> {
+        let kind = self.next_demand()?.kind;
         self.iters_done += 1;
         if let Some(limit) = self.truncate_at {
             // Only truncate once all RESET groups have fired.
@@ -363,7 +440,7 @@ impl LineWrite {
                 }
             }
         }
-        kind
+        Some(kind)
     }
 
     /// Number of cells still unfinished after `iters` completed iterations
@@ -460,7 +537,7 @@ impl LineWrite {
         let m = groups as usize;
         let mut reset_totals = vec![0u32; m];
         let mut reset_per_chip = vec![0u32; m * n];
-        for &(cell, chip) in &self.cell_chips {
+        for &(cell, chip, _) in &self.cell_chips {
             let g = geom.reset_group_of(cell as u32, groups) as usize;
             reset_totals[g] += 1;
             reset_per_chip[g * n + chip as usize] += 1;
@@ -468,6 +545,157 @@ impl LineWrite {
         self.reset_groups = groups;
         self.reset_totals = reset_totals;
         self.reset_per_chip = reset_per_chip;
+    }
+}
+
+/// The recyclable backing storage of one [`LineWrite`].
+#[derive(Debug, Default)]
+struct WriteBuffers {
+    cell_chips: Vec<(u16, u8, u32)>,
+    reset_totals: Vec<u32>,
+    reset_per_chip: Vec<u32>,
+    set_totals: Vec<u32>,
+    set_per_chip: Vec<u32>,
+}
+
+/// Upper bound on retained buffer sets / change sets / round vectors, so a
+/// pathological burst cannot turn the pool into an unbounded cache.
+const MAX_POOLED: usize = 4096;
+
+/// A free-list of retired write-pipeline buffers.
+///
+/// The simulator mints a [`LineWrite`] per admitted write (plus a
+/// [`ChangeSet`] and a per-task round vector); at steady state every one of
+/// those allocations can be served from storage recycled off completed
+/// writes, making the per-write pipeline allocation-free. Recycled buffers
+/// are always cleared before reuse, and pooling never touches an RNG, so a
+/// pooled run is bit-for-bit identical to a fresh-allocation run (the
+/// `pooled_vs_fresh` proptests hold this invariant down).
+///
+/// # Examples
+///
+/// ```
+/// use fpb_pcm::{ChangeSet, CellMapping, DimmGeometry, IterationSampler, MlcLevel, WriteBufferPool};
+/// use fpb_types::{MlcWriteModel, SimRng};
+///
+/// let geom = DimmGeometry::new(8, 1024);
+/// let sampler = IterationSampler::new(MlcWriteModel::default());
+/// let mut rng = SimRng::seed_from(5);
+/// let mut pool = WriteBufferPool::new();
+///
+/// let w = pool.build(&[(0, MlcLevel::L11)], &geom, CellMapping::Bim, &sampler, &mut rng, 1);
+/// pool.recycle(w);
+/// let _next = pool.build(&[(1, MlcLevel::L00)], &geom, CellMapping::Bim, &sampler, &mut rng, 1);
+/// assert_eq!(pool.reuses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteBufferPool {
+    bufs: Vec<WriteBuffers>,
+    change_sets: Vec<ChangeSet>,
+    round_vecs: Vec<Vec<LineWrite>>,
+    reuses: u64,
+    fresh: u64,
+}
+
+impl WriteBufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        WriteBufferPool::default()
+    }
+
+    /// Builds a [`LineWrite`] for `cells`, reusing retired backing storage
+    /// when available. Identical in behaviour (including RNG consumption)
+    /// to [`LineWrite::from_cells`].
+    pub fn build(
+        &mut self,
+        cells: &[(u32, MlcLevel)],
+        geom: &DimmGeometry,
+        mapping: CellMapping,
+        sampler: &IterationSampler,
+        rng: &mut SimRng,
+        reset_groups: u8,
+    ) -> LineWrite {
+        let bufs = match self.bufs.pop() {
+            Some(b) => {
+                self.reuses += 1;
+                b
+            }
+            None => {
+                self.fresh += 1;
+                WriteBuffers::default()
+            }
+        };
+        LineWrite::build_with(bufs, cells, geom, mapping, sampler, rng, reset_groups)
+    }
+
+    /// Returns a completed write's backing storage to the free-list.
+    pub fn recycle(&mut self, write: LineWrite) {
+        if self.bufs.len() >= MAX_POOLED {
+            return;
+        }
+        let LineWrite {
+            cell_chips,
+            reset_totals,
+            reset_per_chip,
+            set_totals,
+            set_per_chip,
+            ..
+        } = write;
+        self.bufs.push(WriteBuffers {
+            cell_chips,
+            reset_totals,
+            reset_per_chip,
+            set_totals,
+            set_per_chip,
+        });
+    }
+
+    /// Takes a cleared [`ChangeSet`], reusing recycled storage if any.
+    pub fn take_change_set(&mut self) -> ChangeSet {
+        let mut cs = self.change_sets.pop().unwrap_or_default();
+        cs.clear();
+        cs
+    }
+
+    /// Returns a no-longer-needed change set's storage to the free-list.
+    pub fn recycle_change_set(&mut self, cs: ChangeSet) {
+        if self.change_sets.len() < MAX_POOLED {
+            self.change_sets.push(cs);
+        }
+    }
+
+    /// Takes an empty round vector (`Vec<LineWrite>`), reusing recycled
+    /// storage if any.
+    pub fn take_rounds(&mut self) -> Vec<LineWrite> {
+        let mut v = self.round_vecs.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Recycles a completed task's rounds: every write's buffers go back to
+    /// the free-list, and the vector itself is retained for reuse.
+    pub fn recycle_rounds(&mut self, mut rounds: Vec<LineWrite>) {
+        for w in rounds.drain(..) {
+            self.recycle(w);
+        }
+        if self.round_vecs.len() < MAX_POOLED {
+            self.round_vecs.push(rounds);
+        }
+    }
+
+    /// Number of buffer sets currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// How many builds were served from recycled storage.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// How many builds had to allocate fresh storage.
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh
     }
 }
 
@@ -682,8 +910,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "completed write")]
-    fn advancing_completed_write_panics() {
+    fn advancing_completed_write_returns_none() {
         let (geom, s) = fixture();
         let mut rng = SimRng::seed_from(12);
         let mut w = LineWrite::new(
@@ -694,8 +921,74 @@ mod tests {
             &mut rng,
             1,
         );
-        w.advance();
-        w.advance();
+        assert!(w.advance().is_some());
+        assert!(w.is_complete());
+        assert_eq!(w.advance(), None, "completed write must not advance");
+        assert_eq!(w.iterations_done(), 1);
+    }
+
+    #[test]
+    fn pooled_build_matches_fresh_build() {
+        let (geom, s) = fixture();
+        let cs: ChangeSet = (0..200u32).map(|i| (i * 5 % 1024, MlcLevel::L01)).collect();
+        let mut pool = WriteBufferPool::new();
+        // Seed the pool with retired storage from a first write.
+        let mut warm_rng = SimRng::seed_from(40);
+        let warm = pool.build(cs.cells(), &geom, CellMapping::Bim, &s, &mut warm_rng, 2);
+        pool.recycle(warm);
+        assert_eq!(pool.pooled(), 1);
+
+        let mut rng_a = SimRng::seed_from(41);
+        let mut rng_b = SimRng::seed_from(41);
+        let pooled = pool.build(cs.cells(), &geom, CellMapping::Bim, &s, &mut rng_a, 2);
+        let fresh = LineWrite::new(&cs, &geom, CellMapping::Bim, &s, &mut rng_b, 2);
+        assert_eq!(pooled, fresh, "recycled buffers must not leak state");
+        assert_eq!(rng_a, rng_b, "pooling must not change RNG consumption");
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.fresh_allocations(), 1);
+    }
+
+    #[test]
+    fn recycle_rounds_returns_all_buffers() {
+        let (geom, s) = fixture();
+        let mut rng = SimRng::seed_from(42);
+        let mut pool = WriteBufferPool::new();
+        let mut rounds = pool.take_rounds();
+        for r in 0..3u32 {
+            let cs = changes(10 + r, MlcLevel::L01);
+            rounds.push(pool.build(cs.cells(), &geom, CellMapping::Vim, &s, &mut rng, 1));
+        }
+        pool.recycle_rounds(rounds);
+        assert_eq!(pool.pooled(), 3);
+        let again = pool.take_rounds();
+        assert!(again.is_empty());
+        assert!(again.capacity() >= 3, "round vector storage reused");
+    }
+
+    #[test]
+    fn change_set_pooling_round_trips() {
+        let mut pool = WriteBufferPool::new();
+        let mut cs = pool.take_change_set();
+        cs.push(7, MlcLevel::L10);
+        cs.push(9, MlcLevel::L00);
+        assert_eq!(cs.len(), 2);
+        pool.recycle_change_set(cs);
+        let cs2 = pool.take_change_set();
+        assert!(cs2.is_empty(), "recycled change sets are cleared on take");
+    }
+
+    #[test]
+    fn rotate_in_place_matches_rotated() {
+        let cs = ChangeSet::from_cells(vec![
+            (1020, MlcLevel::L01),
+            (3, MlcLevel::L11),
+            (511, MlcLevel::L00),
+        ]);
+        let by_clone = cs.rotated(10, 1024);
+        let mut in_place = cs.clone();
+        in_place.rotate_in_place(10, 1024);
+        assert_eq!(by_clone, in_place);
+        assert_eq!(in_place.iter().next().unwrap().0, 6);
     }
 
     #[test]

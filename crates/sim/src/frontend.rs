@@ -61,7 +61,7 @@ pub enum CacheFrontEnd {
 ///     &CacheHierarchyConfig::default(),
 ///     &mut rng,
 /// ).unwrap();
-/// let op = core.take_op();
+/// let op = core.take_op().unwrap();
 /// let out = core.llc_access(op.addr, op.is_write);
 /// assert!(!out.hit); // cold cache
 /// ```
@@ -145,13 +145,11 @@ impl CoreState {
         &self.gen.profile().data
     }
 
-    /// Takes the pending operation (the engine calls this at `ready_at`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no operation is pending.
-    pub fn take_op(&mut self) -> TraceOp {
-        self.next_op.take().expect("no pending operation")
+    /// Takes the pending operation, if any (the engine calls this at
+    /// `ready_at`; `None` means nothing is scheduled — a blocked or done
+    /// core).
+    pub fn take_op(&mut self) -> Option<TraceOp> {
+        self.next_op.take()
     }
 
     /// Pushes one operation through the cache front end.
@@ -321,7 +319,7 @@ mod tests {
         let mut t = c.ready_at;
         let mut guard = 0;
         while !c.done {
-            let _ = c.take_op();
+            assert!(c.take_op().is_some());
             c.schedule_next(t, target);
             t = c.ready_at.max(t + Cycles::new(1));
             guard += 1;

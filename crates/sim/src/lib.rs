@@ -48,10 +48,10 @@ pub mod setup;
 pub mod sweep;
 pub mod timeline;
 
-pub use bench::{run_fixed_bench, BenchReport};
+pub use bench::{run_fixed_bench, run_hotpath_bench, BenchReport, HotpathReport};
 pub use engine::{run_workload, try_run_workload, SimOptions, System};
 pub use exec::{default_jobs, parallel_map_indexed};
 pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};
 pub use setup::SchemeSetup;
-pub use timeline::Timeline;
+pub use timeline::{RenderError, Timeline};

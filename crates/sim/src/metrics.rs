@@ -30,7 +30,10 @@ pub struct Metrics {
     /// Write rounds completed (≥ `pcm_writes` when multi-round splits
     /// occur).
     pub write_rounds: u64,
-    /// Total cells changed by completed writes.
+    /// Total cells programmed by completed write *rounds* (accumulated
+    /// when a round closes, so it always equals the
+    /// [`Metrics::per_chip_cells`] sum even if a later round of the same
+    /// line write is still in flight when the run ends).
     pub cells_written: u64,
     /// Cycles during which the controller was in write-burst mode.
     pub burst_cycles: u64,
@@ -159,10 +162,10 @@ impl Metrics {
     /// Per-chip write-wear imbalance: max over mean cells written per
     /// chip (1.0 = perfectly even). Returns 0 when nothing was written.
     pub fn chip_imbalance(&self) -> f64 {
-        if self.per_chip_cells.is_empty() {
-            return 0.0;
-        }
-        let max = *self.per_chip_cells.iter().max().expect("nonempty") as f64;
+        let Some(&max) = self.per_chip_cells.iter().max() else {
+            return 0.0; // no chips recorded
+        };
+        let max = max as f64;
         let mean = self.per_chip_cells.iter().sum::<u64>() as f64
             / self.per_chip_cells.len() as f64;
         // `mean` is an integer sum over a nonzero count: it is exactly 0.0
@@ -183,6 +186,94 @@ impl Metrics {
         } else {
             self.power.gcp_usable_total().as_f64() / self.pcm_writes as f64
         }
+    }
+
+    /// Deterministic JSON rendering of the full run result.
+    ///
+    /// Every field is an exact integer (token totals are reported in raw
+    /// millitokens), so two runs that are bit-for-bit identical produce
+    /// byte-identical documents — the property the pooled-vs-fresh write
+    /// path tests compare. Field order is fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"fpb-metrics/v1\",\n");
+        for (k, v) in [
+            ("cycles", self.cycles),
+            ("instructions_per_core", self.instructions_per_core),
+            ("cores", self.cores as u64),
+            ("pcm_reads", self.pcm_reads),
+            ("pcm_writes", self.pcm_writes),
+            ("write_rounds", self.write_rounds),
+            ("cells_written", self.cells_written),
+            ("burst_cycles", self.burst_cycles),
+            ("write_active_cycles", self.write_active_cycles),
+            ("write_queue_delay", self.write_queue_delay),
+            ("cancellations", self.cancellations),
+            ("pauses", self.pauses),
+            ("truncations", self.truncations),
+            ("read_latency_sum", self.read_latency_sum),
+            ("scrub_reads", self.scrub_reads),
+        ] {
+            s.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        s.push_str("  \"per_chip_cells\": [");
+        for (i, c) in self.per_chip_cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&c.to_string());
+        }
+        s.push_str("],\n");
+        s.push_str("  \"power\": {");
+        for (i, (k, v)) in [
+            ("admissions", self.power.admissions()),
+            ("admission_failures", self.power.admission_failures()),
+            ("advance_stalls", self.power.advance_stalls()),
+            ("multi_reset_splits", self.power.multi_reset_splits()),
+            ("gcp_grants", self.power.gcp_grants()),
+            ("gcp_usable_millitokens", self.power.gcp_usable_total().millis()),
+            ("gcp_waste_millitokens", self.power.gcp_waste_total().millis()),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"endurance_cells\": ");
+        match &self.endurance {
+            Some(e) => s.push_str(&e.total_cells_written().to_string()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\n");
+        s.push_str("  \"faults\": {");
+        for (i, (k, v)) in [
+            ("verify_failures", self.faults.verify_failures),
+            ("retries", self.faults.retries),
+            ("stuck_lines_marked", self.faults.stuck_lines_marked),
+            ("remaps", self.faults.remaps),
+            ("slc_fallbacks", self.faults.slc_fallbacks),
+            ("watchdog_trips", self.faults.watchdog_trips),
+            ("brownout_windows", self.faults.brownout_windows),
+            ("brownout_cycles", self.faults.brownout_cycles),
+            ("degraded_writes", self.faults.degraded_writes),
+            ("degraded_cycles", self.faults.degraded_cycles),
+            ("audit_violations", self.faults.audit_violations),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push_str("}\n}\n");
+        s
     }
 }
 
@@ -265,6 +356,24 @@ mod tests {
         assert_eq!(m.chip_imbalance(), 2.0);
         assert_eq!(Metrics::default().avg_read_latency(), 0.0);
         assert_eq!(Metrics::default().chip_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_integer_only() {
+        let m = Metrics {
+            cycles: 123,
+            pcm_writes: 7,
+            per_chip_cells: vec![1, 2, 3],
+            ..Metrics::default()
+        };
+        let j = m.to_json();
+        assert_eq!(j, m.clone().to_json(), "same metrics, same bytes");
+        assert!(j.contains("\"schema\": \"fpb-metrics/v1\""));
+        assert!(j.contains("\"cycles\": 123"));
+        assert!(j.contains("\"per_chip_cells\": [1, 2, 3]"));
+        assert!(j.contains("\"endurance_cells\": null"));
+        assert!(j.contains("\"gcp_usable_millitokens\": 0"));
+        assert!(!j.contains('.'), "integers only, no floats: {j}");
     }
 
     #[test]

@@ -131,8 +131,6 @@ pub struct RoundSplitter {
     by_chip: Vec<Vec<(u32, fpb_pcm::MlcLevel)>>,
     /// Dealt rounds under the current trial split count `k`.
     rounds: Vec<Vec<(u32, fpb_pcm::MlcLevel)>>,
-    /// Per-chip tally for the chip-cap fit check.
-    per_chip: Vec<u32>,
 }
 
 impl RoundSplitter {
@@ -150,9 +148,35 @@ impl RoundSplitter {
         mapping: fpb_pcm::CellMapping,
         chips: u8,
     ) -> Vec<ChangeSet> {
+        match self.split_in(changes, cap_total, cap_chip, mapping, chips) {
+            None => vec![changes.clone()],
+            Some(k) => (0..k)
+                .map(|i| ChangeSet::from_cells(self.round(i).to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Allocation-free core of [`RoundSplitter::split`]: splits into the
+    /// splitter's internal buffers and returns the round count, with each
+    /// round readable through [`RoundSplitter::round`] until the next
+    /// split. Returns `None` when no splitting applies (no caps, or an
+    /// empty change set) — the caller then uses `changes` itself as the
+    /// single round, preserving its original cell order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a provided cap is zero.
+    pub fn split_in(
+        &mut self,
+        changes: &ChangeSet,
+        cap_total: Option<u64>,
+        cap_chip: Option<u64>,
+        mapping: fpb_pcm::CellMapping,
+        chips: u8,
+    ) -> Option<usize> {
         let n = changes.len() as u64;
         if n == 0 || (cap_total.is_none() && cap_chip.is_none()) {
-            return vec![changes.clone()];
+            return None;
         }
         if let Some(cap) = cap_total {
             assert!(cap > 0, "total token cap must be nonzero");
@@ -180,26 +204,28 @@ impl RoundSplitter {
         loop {
             let kk = k as usize;
             self.deal(kk);
-            let fits = self.rounds[..kk].iter().all(|r| {
-                cap_total.is_none_or(|cap| r.len() as u64 <= cap)
-                    && cap_chip.is_none_or(|cap| {
-                        mapping.distribute_into(
-                            r.iter().map(|&(c, _)| c),
-                            chips,
-                            &mut self.per_chip,
-                        );
-                        self.per_chip.iter().all(|&c| c as u64 <= cap)
-                    })
-            });
+            // The chip cap never needs rechecking: dealing hands each round
+            // at most `ceil(chip_cells / k)` cells of any one chip, and `k`
+            // started at `ceil(max_chip / cap_chip)` or higher. Only the
+            // per-round *total* can still overflow — a round's total is the
+            // sum of per-chip ceilings, which can exceed `ceil(n / k)`.
+            let fits = cap_total
+                .is_none_or(|cap| self.rounds[..kk].iter().all(|r| r.len() as u64 <= cap));
             if fits {
-                return self.rounds[..kk]
-                    .iter()
-                    .map(|r| ChangeSet::from_cells(r.clone()))
-                    .collect();
+                return Some(kk);
             }
             k += 1;
             assert!(k <= n, "split cannot exceed one cell per round");
         }
+    }
+
+    /// Round `i` of the most recent [`RoundSplitter::split_in`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for that split.
+    pub fn round(&self, i: usize) -> &[(u32, fpb_pcm::MlcLevel)] {
+        &self.rounds[i]
     }
 
     /// Deals the grouped cells round-robin into the first `k` round
@@ -304,5 +330,24 @@ mod tests {
         let rounds = split_rounds(&ChangeSet::empty(), Some(560), None, CellMapping::Bim, 8);
         assert_eq!(rounds.len(), 1);
         assert!(rounds[0].is_empty());
+    }
+
+    #[test]
+    fn split_in_matches_owned_split() {
+        let c = cs(1024);
+        let mut sp = RoundSplitter::new();
+        let k = sp
+            .split_in(&c, Some(560), Some(80), CellMapping::Bim, 8)
+            .unwrap();
+        let owned = sp.split(&c, Some(560), Some(80), CellMapping::Bim, 8);
+        assert_eq!(k, owned.len());
+        for (i, r) in owned.iter().enumerate() {
+            assert_eq!(sp.round(i), r.cells(), "round {i}");
+        }
+        // No caps: the caller keeps the original set, no buffers touched.
+        assert!(sp.split_in(&c, None, None, CellMapping::Bim, 8).is_none());
+        assert!(sp
+            .split_in(&ChangeSet::empty(), Some(10), None, CellMapping::Bim, 8)
+            .is_none());
     }
 }

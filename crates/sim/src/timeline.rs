@@ -7,10 +7,32 @@
 //! the fastest way to *see* write bursts serializing reads, or FPB
 //! overlapping writes that the baseline runs back to back.
 
+use std::fmt;
+
 use fpb_types::Cycles;
 
 use crate::engine::System;
 use crate::metrics::Metrics;
+
+/// Why [`Timeline::render`] could not produce a chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderError {
+    /// The requested chart width was zero.
+    ZeroWidth,
+    /// Nothing was recorded (the timeline holds no samples).
+    Empty,
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::ZeroWidth => write!(f, "chart width must be nonzero"),
+            RenderError::Empty => write!(f, "timeline holds no samples"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
 
 /// One sampled instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,14 +124,19 @@ impl Timeline {
     /// resident, `.` = not), plus a burst row (`B`/`.`), `width` columns
     /// spanning the run (each column aggregates a time slice by majority).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is zero or nothing was recorded.
-    pub fn render(&self, width: usize) -> String {
-        assert!(width > 0, "width must be nonzero");
-        assert!(!self.samples.is_empty(), "empty timeline");
+    /// Returns [`RenderError`] if `width` is zero or nothing was
+    /// recorded.
+    pub fn render(&self, width: usize) -> Result<String, RenderError> {
+        if width == 0 {
+            return Err(RenderError::ZeroWidth);
+        }
+        let Some(last) = self.samples.last() else {
+            return Err(RenderError::Empty);
+        };
         let banks = self.samples[0].bank_writes.len();
-        let end = self.samples.last().expect("nonempty").at.get().max(1);
+        let end = last.at.get().max(1);
         let mut out = String::new();
 
         // Bucket samples by time slice.
@@ -153,7 +180,7 @@ impl Timeline {
             });
         }
         out.push('\n');
-        out
+        Ok(out)
     }
 }
 
@@ -209,7 +236,7 @@ mod tests {
     #[test]
     fn render_shape_is_stable() {
         let tl = recorded(SchemeSetup::fpb);
-        let chart = tl.render(60);
+        let chart = tl.render(60).unwrap();
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 9, "8 banks + burst row");
         assert!(lines[0].starts_with("bank0 "));
@@ -220,9 +247,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width must be nonzero")]
-    fn zero_width_panics() {
+    fn zero_width_is_a_typed_error() {
         let tl = recorded(SchemeSetup::fpb);
-        let _ = tl.render(0);
+        assert_eq!(tl.render(0), Err(RenderError::ZeroWidth));
+        let empty = Timeline {
+            samples: Vec::new(),
+            metrics: Metrics::default(),
+        };
+        assert_eq!(empty.render(10), Err(RenderError::Empty));
     }
 }

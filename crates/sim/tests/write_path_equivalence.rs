@@ -1,0 +1,119 @@
+//! Differential proof for the zero-allocation write path: the event-heap
+//! stepper and the pooled write buffers must be *bit-for-bit* identical
+//! to the reference scan stepper and fresh-allocation path — same final
+//! metrics in every field, across seeds, schemes, and fault injection.
+//!
+//! (The word-level change sampler is deliberately NOT covered here: it
+//! consumes the RNG differently by design, so its equivalence to the
+//! per-bit reference is distributional and proven in
+//! `fpb_trace::data_model` tests.)
+
+use fpb_sim::{run_workload, SchemeSetup, SimOptions};
+use fpb_trace::catalog;
+use fpb_types::SystemConfig;
+
+const SEEDS: [u64; 3] = [1, 42, 0xF9B];
+
+fn opts() -> SimOptions {
+    SimOptions::with_instructions(40_000)
+}
+
+fn fault_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig {
+        seed,
+        ..SystemConfig::default()
+    };
+    cfg.faults.verify_fail_prob = 0.25;
+    cfg.faults.stuck_cell_prob = 0.01;
+    cfg.faults.stuck_wear_threshold = 64;
+    cfg.faults.brownout_period = 10_000;
+    cfg.faults.brownout_duration = 2_000;
+    cfg
+}
+
+/// Runs `setups` on `cfg` with and without the given reference knob and
+/// asserts full-metrics equality.
+fn assert_identical(
+    cfg: &SystemConfig,
+    setup: &SchemeSetup,
+    tag: &str,
+    tweak: impl Fn(&mut SimOptions),
+) {
+    let wl = catalog::workload("mcf_m").expect("catalog workload");
+    let optimized = run_workload(&wl, cfg, setup, &opts());
+    let mut ref_opts = opts();
+    tweak(&mut ref_opts);
+    let reference = run_workload(&wl, cfg, setup, &ref_opts);
+    assert_eq!(
+        optimized, reference,
+        "{tag}: optimized and reference paths diverged (seed {})",
+        cfg.seed
+    );
+}
+
+#[test]
+fn heap_stepper_matches_scan_stepper() {
+    for seed in SEEDS {
+        let cfg = SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        };
+        for setup in [
+            SchemeSetup::ideal(&cfg),
+            SchemeSetup::dimm_chip(&cfg),
+            SchemeSetup::fpb(&cfg),
+        ] {
+            assert_identical(&cfg, &setup, "stepper", |o| o.reference_stepper = true);
+        }
+    }
+}
+
+#[test]
+fn pooled_buffers_match_fresh_allocation() {
+    for seed in SEEDS {
+        let cfg = SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        };
+        for setup in [SchemeSetup::dimm_chip(&cfg), SchemeSetup::fpb(&cfg)] {
+            assert_identical(&cfg, &setup, "alloc", |o| o.reference_alloc = true);
+        }
+    }
+}
+
+#[test]
+fn heap_and_pool_match_reference_under_fault_injection() {
+    for seed in SEEDS {
+        let cfg = fault_cfg(seed);
+        let setup = SchemeSetup::fpb(&cfg);
+        assert_identical(&cfg, &setup, "faults/stepper", |o| {
+            o.reference_stepper = true;
+        });
+        assert_identical(&cfg, &setup, "faults/alloc", |o| o.reference_alloc = true);
+        assert_identical(&cfg, &setup, "faults/both", |o| {
+            o.reference_stepper = true;
+            o.reference_alloc = true;
+        });
+    }
+}
+
+#[test]
+fn heap_stepper_matches_scan_with_wt_wc_wp_and_scrub() {
+    // The richest control-flow surface: truncation, cancellation,
+    // pausing, and background scrub reads all interleave with the
+    // stepper's event ordering.
+    let cfg = SystemConfig {
+        seed: 7,
+        ..SystemConfig::default()
+    };
+    let setup = SchemeSetup::fpb(&cfg).with_wt(8).with_wc().with_wp();
+    let wl = catalog::workload("mcf_m").expect("catalog workload");
+    let mut o = opts();
+    o.scrub_period_cycles = Some(20_000);
+    let optimized = run_workload(&wl, &cfg, &setup, &o);
+    let mut r = o;
+    r.reference_stepper = true;
+    r.reference_alloc = true;
+    let reference = run_workload(&wl, &cfg, &setup, &r);
+    assert_eq!(optimized, reference, "wt/wc/wp/scrub divergence");
+}

@@ -11,9 +11,34 @@
 //!   exponent/sign rarely, and words change in aligned (double) pairs.
 //! * **Streaming** — fresh data overwrites the line: dense, uniform flips.
 //! * **Pointer** — like integer but sparser words and shallower decay.
+//!
+//! # Sampling strategy
+//!
+//! The production path is *word-level*: instead of one Bernoulli draw per
+//! bit (up to 512 draws per 64 B line), changed words are selected with
+//! geometric skip-sampling (sparse `word_change_prob`) or a bit-parallel
+//! mask comparator (dense), and the per-bit flip mask of each changed word
+//! is produced by a dyadic-digit comparator that decides all 32 (or 64,
+//! when two changed words are paired) lanes at once from a handful of raw
+//! `u64` draws. Cells are then extracted from the packed masks with
+//! `trailing_zeros`/`leading_zeros`/`count_ones`. The original per-bit
+//! path is kept as `*_reference` for distributional-equivalence tests and
+//! pre-optimization benchmarking.
 
 use fpb_pcm::{ChangeSet, MlcLevel};
 use fpb_types::SimRng;
+
+/// Binary digits of probability retained by the mask comparator.
+///
+/// Lanes still undecided after this many digits are resolved as "no flip",
+/// biasing each per-bit probability by at most `2^-48` — far below the
+/// resolution of any calibration envelope. The comparator early-exits once
+/// every lane is decided, which takes ~`log2(lanes) + 2` draws on average.
+const MASK_DIGITS: usize = 48;
+
+/// Word-change probability below which changed words are selected by
+/// geometric skip-sampling rather than the bit-parallel comparator.
+const SPARSE_WORD_PROB: f64 = 0.25;
 
 /// Broad class of data a benchmark writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +72,11 @@ pub struct DataProfile {
     class: DataClass,
     word_change_prob: f64,
     level_weights: [f64; 4],
+    /// Dyadic digits of the 32 per-bit flip probabilities, replicated
+    /// across both 32-lane halves so paired words share one table.
+    flip_digits: Vec<u64>,
+    /// Dyadic digits of `word_change_prob` (each digit all-ones or zero).
+    word_digits: Vec<u64>,
 }
 
 impl DataProfile {
@@ -61,11 +91,16 @@ impl DataProfile {
             (0.0..=1.0).contains(&word_change_prob),
             "word_change_prob must be in [0, 1]"
         );
-        DataProfile {
+        let mut profile = DataProfile {
             class,
             word_change_prob,
             level_weights: [0.25; 4],
-        }
+            flip_digits: Vec::new(),
+            word_digits: Vec::new(),
+        };
+        profile.flip_digits = profile.build_flip_digits();
+        profile.word_digits = Self::build_scalar_digits(word_change_prob);
+        profile
     }
 
     /// Overrides the target-level distribution for changed cells
@@ -112,10 +147,246 @@ impl DataProfile {
         }
     }
 
+    /// Precomputes `MASK_DIGITS` binary-fraction digits of the 32 per-bit
+    /// flip probabilities, lane `b` of each mask holding digit `k` of
+    /// `bit_flip_prob(b % 32)`.
+    fn build_flip_digits(&self) -> Vec<u64> {
+        let mut fracs = [0.0f64; 64];
+        for (b, f) in fracs.iter_mut().enumerate() {
+            *f = self.bit_flip_prob((b % 32) as u32).clamp(0.0, 1.0);
+        }
+        let mut digits = Vec::with_capacity(MASK_DIGITS);
+        for _ in 0..MASK_DIGITS {
+            let mut mask = 0u64;
+            for (b, f) in fracs.iter_mut().enumerate() {
+                *f *= 2.0;
+                if *f >= 1.0 {
+                    mask |= 1u64 << b;
+                    *f -= 1.0;
+                }
+            }
+            digits.push(mask);
+        }
+        digits
+    }
+
+    /// Digit masks for a single scalar probability: each digit is all-ones
+    /// or all-zeros across the 64 lanes.
+    fn build_scalar_digits(p: f64) -> Vec<u64> {
+        let mut frac = p.clamp(0.0, 1.0);
+        let mut digits = Vec::with_capacity(MASK_DIGITS);
+        for _ in 0..MASK_DIGITS {
+            frac *= 2.0;
+            if frac >= 1.0 {
+                digits.push(!0u64);
+                frac -= 1.0;
+            } else {
+                digits.push(0u64);
+            }
+        }
+        digits
+    }
+
+    /// Decides `lanes` independent Bernoulli trials at once.
+    ///
+    /// Each lane compares an (implicit) uniform binary fraction against its
+    /// probability digit-by-digit, most significant first: the first digit
+    /// where the random draw differs from the probability decides the lane.
+    /// Lanes still undecided after `MASK_DIGITS` digits resolve to "no
+    /// flip" (bias ≤ `2^-48`).
+    #[inline]
+    fn decide_lanes(digits: &[u64], lanes: u64, rng: &mut SimRng) -> u64 {
+        let mut hits = 0u64;
+        let mut undecided = lanes;
+        for &pk in digits {
+            if undecided == 0 {
+                break;
+            }
+            let r = rng.next_u64();
+            hits |= undecided & pk & !r;
+            undecided &= !(r ^ pk);
+        }
+        hits
+    }
+
+    /// Completes a buffered word pair: draws one 64-lane flip mask
+    /// covering both words (or a 32-lane mask for a lone trailing word via
+    /// [`Self::flush_pending`]).
+    #[inline]
+    fn pair_word<F>(&self, pending: &mut Option<u32>, w: u32, rng: &mut SimRng, emit: &mut F)
+    where
+        F: FnMut(u32, u32, &mut SimRng),
+    {
+        match pending.take() {
+            None => *pending = Some(w),
+            Some(first) => {
+                let m = Self::decide_lanes(&self.flip_digits, !0u64, rng);
+                let lo = (m & 0xFFFF_FFFF) as u32;
+                let hi = (m >> 32) as u32;
+                if lo != 0 {
+                    emit(first, lo, rng);
+                }
+                if hi != 0 {
+                    emit(w, hi, rng);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn flush_pending<F>(&self, pending: &mut Option<u32>, rng: &mut SimRng, emit: &mut F)
+    where
+        F: FnMut(u32, u32, &mut SimRng),
+    {
+        if let Some(w) = pending.take() {
+            let m = Self::decide_lanes(&self.flip_digits, 0xFFFF_FFFF, rng) as u32;
+            if m != 0 {
+                emit(w, m, rng);
+            }
+        }
+    }
+
+    /// Walks the changed words of one dirty line in ascending order,
+    /// calling `emit(word, flip_mask, rng)` for each word with at least one
+    /// flipped bit. This is the shared word-level core of the sampling API.
+    fn for_each_changed_word<F>(&self, line_bytes: u32, rng: &mut SimRng, mut emit: F)
+    where
+        F: FnMut(u32, u32, &mut SimRng),
+    {
+        let words = line_bytes / 4;
+        if words == 0 {
+            return;
+        }
+        // Doubles change as aligned word pairs; everything else per word.
+        let span: u32 = match self.class {
+            DataClass::Float => 2,
+            _ => 1,
+        };
+        let n_units = words.div_ceil(span);
+        let q = self.word_change_prob;
+        if q <= 0.0 {
+            return;
+        }
+        let mut pending: Option<u32> = None;
+        let mut visit_unit = |profile: &Self, u: u32, pend: &mut Option<u32>, rng: &mut SimRng| {
+            for dw in 0..span {
+                let w = u * span + dw;
+                if w < words {
+                    profile.pair_word(pend, w, rng, &mut emit);
+                }
+            }
+        };
+        if q >= 1.0 {
+            for u in 0..n_units {
+                visit_unit(self, u, &mut pending, rng);
+            }
+        } else if q < SPARSE_WORD_PROB {
+            // Geometric skip-sampling: jump straight to the next changed
+            // unit. `floor(ln(1-U) / ln(1-q))` is exactly the number of
+            // unchanged units skipped.
+            let ln_1q = (1.0 - q).ln();
+            let mut u = 0u32;
+            loop {
+                let draw = rng.f64();
+                let skip = (1.0 - draw).ln() / ln_1q;
+                if skip >= (n_units - u) as f64 {
+                    break;
+                }
+                u += skip as u32;
+                visit_unit(self, u, &mut pending, rng);
+                u += 1;
+                if u >= n_units {
+                    break;
+                }
+            }
+        } else {
+            // Dense: decide up to 64 units per comparator call.
+            let mut base = 0u32;
+            while base < n_units {
+                let chunk = (n_units - base).min(64);
+                let lanes = if chunk == 64 {
+                    !0u64
+                } else {
+                    (1u64 << chunk) - 1
+                };
+                let mut changed = Self::decide_lanes(&self.word_digits, lanes, rng);
+                while changed != 0 {
+                    let u = base + changed.trailing_zeros();
+                    changed &= changed - 1;
+                    visit_unit(self, u, &mut pending, rng);
+                }
+                base += chunk;
+            }
+        }
+        self.flush_pending(&mut pending, rng, &mut emit);
+    }
+
     /// Samples the byte-for-byte changed bit positions of one dirty line.
     ///
     /// Bit `g` covers bit `g % 32` (0 = LSB) of 32-bit word `g / 32`.
     pub fn sample_changed_bits(&self, line_bytes: u32, rng: &mut SimRng) -> Vec<u32> {
+        let mut bits = Vec::new();
+        self.for_each_changed_word(line_bytes, rng, |w, mask, _| {
+            let mut m = mask;
+            while m != 0 {
+                let b = m.trailing_zeros();
+                m &= m - 1;
+                bits.push(w * 32 + b);
+            }
+        });
+        bits
+    }
+
+    /// Samples the MLC change set of one dirty line write: the changed
+    /// 2-bit cells with their new target levels.
+    ///
+    /// Cell `k` of word `w` (cells are MSB-first within a word, so cell 15
+    /// holds the two LSBs) is global cell `w * 16 + k`; it changes if
+    /// either of its bits flips. Cells are emitted in ascending order with
+    /// no duplicates.
+    pub fn sample_change_set(&self, line_bytes: u32, rng: &mut SimRng) -> ChangeSet {
+        let mut out = ChangeSet::empty();
+        self.sample_change_set_into(line_bytes, rng, &mut out);
+        out
+    }
+
+    /// Like [`Self::sample_change_set`] but reuses `out`'s backing storage
+    /// (cleared first), so steady-state sampling allocates nothing.
+    pub fn sample_change_set_into(&self, line_bytes: u32, rng: &mut SimRng, out: &mut ChangeSet) {
+        out.clear();
+        self.for_each_changed_word(line_bytes, rng, |w, mask, rng| {
+            // Collapse bit pairs onto their even lane: bit 2p set iff cell
+            // pair p (bits 2p / 2p+1) changed.
+            let mut pairs = (mask | (mask >> 1)) & 0x5555_5555;
+            // Cells are MSB-first, so walk pairs from the high end to emit
+            // cell indices in ascending order.
+            while pairs != 0 {
+                let hb = 31 - pairs.leading_zeros();
+                pairs &= !(1u32 << hb);
+                let cell = w * 16 + (15 - hb / 2);
+                out.push(cell, self.sample_level(rng));
+            }
+        });
+    }
+
+    /// Counts changed cells for both MLC (2-bit cells) and SLC (1-bit
+    /// cells) interpretations of the same bit-change pattern (Fig. 2).
+    pub fn count_changes(&self, line_bytes: u32, rng: &mut SimRng) -> (u32, u32) {
+        let mut mlc = 0u32;
+        let mut slc = 0u32;
+        self.for_each_changed_word(line_bytes, rng, |_, mask, _| {
+            slc += mask.count_ones();
+            mlc += ((mask | (mask >> 1)) & 0x5555_5555).count_ones();
+        });
+        (mlc, slc)
+    }
+
+    /// Per-bit reference implementation of [`Self::sample_changed_bits`].
+    ///
+    /// One Bernoulli draw per word plus one per bit of each changed word —
+    /// the pre-optimization behaviour, kept compiled-in so equivalence
+    /// tests and `fpb bench` can compare the word-level path against it.
+    pub fn sample_changed_bits_reference(&self, line_bytes: u32, rng: &mut SimRng) -> Vec<u32> {
         let words = line_bytes / 4;
         let mut bits = Vec::new();
         let mut w = 0u32;
@@ -139,14 +410,9 @@ impl DataProfile {
         bits
     }
 
-    /// Samples the MLC change set of one dirty line write: the changed
-    /// 2-bit cells with their new target levels.
-    ///
-    /// Cell `k` of word `w` (cells are MSB-first within a word, so cell 15
-    /// holds the two LSBs) is global cell `w * 16 + k`; it changes if
-    /// either of its bits flips.
-    pub fn sample_change_set(&self, line_bytes: u32, rng: &mut SimRng) -> ChangeSet {
-        let bits = self.sample_changed_bits(line_bytes, rng);
+    /// Per-bit reference implementation of [`Self::sample_change_set`].
+    pub fn sample_change_set_reference(&self, line_bytes: u32, rng: &mut SimRng) -> ChangeSet {
+        let bits = self.sample_changed_bits_reference(line_bytes, rng);
         let mut cells: Vec<u32> = bits.iter().map(|&g| Self::cell_of_bit(g)).collect();
         cells.sort_unstable();
         cells.dedup();
@@ -156,10 +422,9 @@ impl DataProfile {
             .collect()
     }
 
-    /// Counts changed cells for both MLC (2-bit cells) and SLC (1-bit
-    /// cells) interpretations of the same bit-change pattern (Fig. 2).
-    pub fn count_changes(&self, line_bytes: u32, rng: &mut SimRng) -> (u32, u32) {
-        let bits = self.sample_changed_bits(line_bytes, rng);
+    /// Per-bit reference implementation of [`Self::count_changes`].
+    pub fn count_changes_reference(&self, line_bytes: u32, rng: &mut SimRng) -> (u32, u32) {
+        let bits = self.sample_changed_bits_reference(line_bytes, rng);
         let slc = bits.len() as u32;
         let mut cells: Vec<u32> = bits.into_iter().map(Self::cell_of_bit).collect();
         cells.sort_unstable();
@@ -176,15 +441,18 @@ impl DataProfile {
     }
 
     fn sample_level(&self, rng: &mut SimRng) -> MlcLevel {
-        let total: f64 = self.level_weights.iter().sum();
-        let mut x = rng.f64() * total;
-        for (i, &w) in self.level_weights.iter().enumerate() {
-            if x < w {
-                return MlcLevel::from_bits(i as u8);
-            }
-            x -= w;
-        }
-        MlcLevel::L11
+        // Branchless form of the subtract-and-compare walk, one comparison
+        // per weight on exactly the values the loop form would compute —
+        // bit-identical level choices, but no data-dependent branches.
+        // This runs once per changed cell of every write.
+        let [w0, w1, w2, w3] = self.level_weights;
+        let x0 = rng.f64() * (w0 + w1 + w2 + w3);
+        let x1 = x0 - w0;
+        let x2 = x1 - w1;
+        let b0 = (x0 >= w0) as u8;
+        let b1 = (x1 >= w1) as u8;
+        let b2 = (x2 >= w2) as u8;
+        MlcLevel::from_bits(b0 * (1 + b1 * (1 + b2)))
     }
 }
 
@@ -201,6 +469,31 @@ mod tests {
             slc += s as u64;
         }
         (mlc as f64 / n as f64, slc as f64 / n as f64)
+    }
+
+    /// Mean and variance of MLC/SLC change counts for either sampler path.
+    fn moments(
+        p: &DataProfile,
+        n: usize,
+        line: u32,
+        seed: u64,
+        reference: bool,
+    ) -> (f64, f64, f64) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut mlc = Vec::with_capacity(n);
+        let mut slc_sum = 0u64;
+        for _ in 0..n {
+            let (m, s) = if reference {
+                p.count_changes_reference(line, &mut rng)
+            } else {
+                p.count_changes(line, &mut rng)
+            };
+            mlc.push(m as f64);
+            slc_sum += s as u64;
+        }
+        let mean = mlc.iter().sum::<f64>() / n as f64;
+        let var = mlc.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        (mean, var, slc_sum as f64 / n as f64)
     }
 
     #[test]
@@ -293,6 +586,75 @@ mod tests {
     }
 
     #[test]
+    fn change_set_cells_ascending() {
+        // The word-level extractor must emit cells pre-sorted: the write
+        // pipeline depends on ascending order without a sort pass.
+        for class in [
+            DataClass::Integer,
+            DataClass::Float,
+            DataClass::Streaming,
+            DataClass::Pointer,
+        ] {
+            for q in [0.1, 0.6, 1.0] {
+                let p = DataProfile::new(class, q);
+                let mut rng = SimRng::seed_from(77);
+                for _ in 0..40 {
+                    let cs = p.sample_change_set(256, &mut rng);
+                    let cells: Vec<u32> = cs.iter().map(|&(c, _)| c).collect();
+                    assert!(
+                        cells.windows(2).all(|p| p[0] < p[1]),
+                        "{class:?} q={q}: cells not strictly ascending: {cells:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn changed_bits_strictly_increasing() {
+        let p = DataProfile::new(DataClass::Integer, 0.5);
+        let mut rng = SimRng::seed_from(21);
+        for _ in 0..40 {
+            let bits = p.sample_changed_bits(256, &mut rng);
+            assert!(bits.windows(2).all(|w| w[0] < w[1]), "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn word_sampler_matches_reference_distribution() {
+        // Fig. 2 calibration envelope: the word-level sampler must match
+        // the per-bit reference in mean and variance of MLC changes and in
+        // mean SLC changes, for every class across sparse / dense /
+        // always-changed word probabilities.
+        for class in [
+            DataClass::Integer,
+            DataClass::Float,
+            DataClass::Streaming,
+            DataClass::Pointer,
+        ] {
+            for q in [0.12, 0.5, 0.95] {
+                let p = DataProfile::new(class, q);
+                let n = 600;
+                let (rm, rv, rs) = moments(&p, n, 256, 1001, true);
+                let (nm, nv, ns) = moments(&p, n, 256, 2002, false);
+                assert!(
+                    (nm - rm).abs() <= 0.08 * rm.max(1.0),
+                    "{class:?} q={q}: mlc mean {nm} vs reference {rm}"
+                );
+                assert!(
+                    (ns - rs).abs() <= 0.08 * rs.max(1.0),
+                    "{class:?} q={q}: slc mean {ns} vs reference {rs}"
+                );
+                let ratio = (nv + 1.0) / (rv + 1.0);
+                assert!(
+                    (0.6..=1.7).contains(&ratio),
+                    "{class:?} q={q}: mlc variance {nv} vs reference {rv}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cell_of_bit_msb_first() {
         assert_eq!(DataProfile::cell_of_bit(31), 0); // MSB of word 0 -> cell 0
         assert_eq!(DataProfile::cell_of_bit(0), 15); // LSB of word 0 -> cell 15
@@ -331,6 +693,32 @@ mod tests {
                 p.sample_change_set(256, &mut a),
                 p.sample_change_set(256, &mut b)
             );
+        }
+    }
+
+    #[test]
+    fn reference_path_deterministic_given_seed() {
+        let p = DataProfile::new(DataClass::Integer, 0.4);
+        let mut a = SimRng::seed_from(34);
+        let mut b = SimRng::seed_from(34);
+        for _ in 0..20 {
+            assert_eq!(
+                p.sample_change_set_reference(256, &mut a),
+                p.sample_change_set_reference(256, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_storage_and_matches() {
+        let p = DataProfile::new(DataClass::Streaming, 0.7);
+        let mut a = SimRng::seed_from(55);
+        let mut b = SimRng::seed_from(55);
+        let mut reused = ChangeSet::empty();
+        for _ in 0..10 {
+            p.sample_change_set_into(256, &mut a, &mut reused);
+            let fresh = p.sample_change_set(256, &mut b);
+            assert_eq!(reused, fresh);
         }
     }
 }

@@ -20,7 +20,7 @@ fn main() {
         let tl = Timeline::record(sys);
         println!("=== {} on {} ===", setup.label, wl.name);
         println!("('#' = bank holds a write, 'B' = write burst blocking reads)\n");
-        print!("{}", tl.render(100));
+        print!("{}", tl.render(100).expect("recorded timeline renders"));
         let m = tl.metrics();
         println!(
             "\nCPI {:.2}, burst {:.0}%, {} writes over {} cycles\n",

@@ -140,9 +140,11 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             jobs,
             instructions,
             out,
+            hotpath_out,
         } => {
             let jobs = cli::effective_jobs(jobs);
-            let report = fpb::sim::run_fixed_bench(jobs, instructions);
+            let report = fpb::sim::run_fixed_bench(jobs, instructions)
+                .ok_or("bench workload missing from the catalog")?;
             std::fs::write(&out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
             println!(
                 "bench: {} points on {} ({} instructions/core)",
@@ -161,6 +163,44 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 return Err("parallel sweep metrics diverged from the serial sweep".into());
             }
             println!("  parallel metrics identical to serial: ok");
+
+            let hot = fpb::sim::run_hotpath_bench(instructions)
+                .ok_or("bench workload missing from the catalog")?;
+            std::fs::write(&hotpath_out, hot.to_json())
+                .map_err(|e| format!("write {hotpath_out}: {e}"))?;
+            println!(
+                "hotpath: optimized write path vs reference on {} ({} instructions/core)",
+                hot.workload, hot.instructions_per_core
+            );
+            println!(
+                "  engine     {:>8.1} ms vs {:>8.1} ms reference  ({:.2}x)",
+                hot.engine_optimized_ms, hot.engine_reference_ms, hot.engine_speedup
+            );
+            println!(
+                "  sampler    {:>8.2} ms vs {:>8.2} ms per-bit    ({:.2}x)",
+                hot.sampler_words_ms, hot.sampler_perbit_ms, hot.sampler_speedup
+            );
+            println!(
+                "  line-write {:>8.2} ms vs {:>8.2} ms fresh      ({:.2}x, {} reuses / {} allocs)",
+                hot.line_write_pooled_ms,
+                hot.line_write_fresh_ms,
+                hot.line_write_speedup,
+                hot.pool_reuses,
+                hot.pool_fresh_allocations
+            );
+            println!("  wrote {hotpath_out}");
+            if !hot.stepper_identical {
+                return Err("event-heap stepper diverged from the scan stepper".into());
+            }
+            if !hot.pooling_identical {
+                return Err("pooled write buffers diverged from fresh allocation".into());
+            }
+            if !hot.sampler_equivalent {
+                return Err(
+                    "word-level sampler drifted from the per-bit reference distribution".into(),
+                );
+            }
+            println!("  write-path equivalence gates: ok");
             Ok(())
         }
         Command::Lint(la) => run_lint(&la),

@@ -35,15 +35,18 @@ pub enum Command {
         /// Optional CSV output path.
         csv: Option<String>,
     },
-    /// `fpb bench [--jobs N] [--instructions N] [--out FILE]`
+    /// `fpb bench [--jobs N] [--instructions N] [--out FILE]
+    /// [--hotpath-out FILE]`
     Bench {
         /// Worker threads for the parallel pass (`None` = machine
         /// parallelism).
         jobs: Option<usize>,
         /// Per-core instruction budget of each grid run.
         instructions: u64,
-        /// Output path for the JSON report.
+        /// Output path for the sweep JSON report.
         out: String,
+        /// Output path for the write-path (hot-path) JSON report.
+        hotpath_out: String,
     },
     /// `fpb list`
     List,
@@ -252,6 +255,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut jobs = None;
             let mut instructions = fpb_sim::bench::BENCH_INSTRUCTIONS;
             let mut out = "BENCH_sweep.json".to_string();
+            let mut hotpath_out = "BENCH_hotpath.json".to_string();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, CliError> {
                     it.next()
@@ -264,6 +268,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         instructions = parse_num(&value("--instructions")?, "--instructions")?
                     }
                     "--out" => out = value("--out")?,
+                    "--hotpath-out" => hotpath_out = value("--hotpath-out")?,
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -271,6 +276,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 jobs,
                 instructions,
                 out,
+                hotpath_out,
             })
         }
         "lint" => {
@@ -501,6 +507,7 @@ USAGE:
   fpb compare --workload <name> [options]
   fpb sweep   --workload <name> --axis <name=v1,v2,..> [--axis ..] [--csv out.csv] [options]
   fpb bench   [--jobs <n>] [--instructions <n>] [--out BENCH_sweep.json]
+              [--hotpath-out BENCH_hotpath.json]
   fpb list
   fpb record  --program <C.mcf|...> --ops <n> --out <file.fpbt>
   fpb lint    [--format text|json] [--out <file>] [--update-baseline] [--rules]
@@ -516,7 +523,12 @@ PARALLELISM:
 BENCH: runs a pinned 3x3 sweep grid (pt-dimm x e-gcp on mcf_m) serially
   and in parallel, checks the results match bit-for-bit, and writes wall
   time, points/sec, speedup, and sim cycles/sec to BENCH_sweep.json.
-  Exits nonzero if parallel and serial metrics diverge.
+  Then races the optimized write path (word-level change sampling,
+  pooled buffers, event-heap stepper) against the pre-optimization
+  reference path and writes BENCH_hotpath.json. Exits nonzero if
+  parallel and serial metrics diverge, if the heap stepper or buffer
+  pool fails bit-for-bit equivalence, or if the word-level sampler
+  drifts from the per-bit reference.
 
 OPTIONS (run/compare):
   --instructions <n>   instructions per core        [200000]
@@ -737,6 +749,7 @@ mod tests {
             jobs,
             instructions,
             out,
+            hotpath_out,
         } = parse(&v(&["bench"])).unwrap()
         else {
             panic!("expected Bench")
@@ -744,10 +757,12 @@ mod tests {
         assert_eq!(jobs, None);
         assert_eq!(instructions, fpb_sim::bench::BENCH_INSTRUCTIONS);
         assert_eq!(out, "BENCH_sweep.json");
+        assert_eq!(hotpath_out, "BENCH_hotpath.json");
         let Command::Bench {
             jobs,
             instructions,
             out,
+            hotpath_out,
         } = parse(&v(&[
             "bench",
             "--jobs",
@@ -756,6 +771,8 @@ mod tests {
             "10_000",
             "--out",
             "/tmp/b.json",
+            "--hotpath-out",
+            "/tmp/h.json",
         ]))
         .unwrap()
         else {
@@ -764,6 +781,7 @@ mod tests {
         assert_eq!(jobs, Some(8));
         assert_eq!(instructions, 10_000);
         assert_eq!(out, "/tmp/b.json");
+        assert_eq!(hotpath_out, "/tmp/h.json");
         assert!(parse(&v(&["bench", "--bogus"])).is_err());
         assert!(parse(&v(&["bench", "--jobs", "0"])).is_err());
     }

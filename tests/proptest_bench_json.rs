@@ -18,8 +18,8 @@ proptest! {
         jobs in 2usize..9,
         instructions in 1_000u64..2_000,
     ) {
-        let serial = run_fixed_bench(1, instructions);
-        let parallel = run_fixed_bench(jobs, instructions);
+        let serial = run_fixed_bench(1, instructions).expect("pinned workload in catalog");
+        let parallel = run_fixed_bench(jobs, instructions).expect("pinned workload in catalog");
 
         prop_assert!(serial.identical, "serial report flagged divergence");
         prop_assert!(parallel.identical, "parallel report flagged divergence");

@@ -1,0 +1,54 @@
+//! Property: the pooled (zero-allocation) write path is invisible in the
+//! results. For arbitrary seeds and fault-injection settings, a run with
+//! recycled write buffers and a run with fresh allocation per write must
+//! produce **byte-identical** metrics JSON ([`Metrics::to_json`]) — not
+//! merely equal aggregates.
+//!
+//! [`Metrics::to_json`]: fpb::sim::Metrics::to_json
+
+use proptest::prelude::*;
+
+use fpb::sim::{run_workload, SchemeSetup, SimOptions};
+use fpb::trace::catalog;
+use fpb::types::SystemConfig;
+
+const INSTRUCTIONS: u64 = 15_000;
+
+fn run_json(cfg: &SystemConfig, fresh_alloc: bool) -> String {
+    let wl = catalog::workload("mcf_m").expect("pinned workload in catalog");
+    let setup = SchemeSetup::fpb(cfg);
+    let mut opts = SimOptions::with_instructions(INSTRUCTIONS);
+    opts.reference_alloc = fresh_alloc;
+    run_workload(&wl, cfg, &setup, &opts).to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn pooled_and_fresh_runs_serialize_identically(
+        seed in 0u64..10_000,
+        inject_faults in any::<bool>(),
+    ) {
+        let mut cfg = SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        };
+        if inject_faults {
+            cfg.faults.verify_fail_prob = 0.2;
+            cfg.faults.stuck_cell_prob = 0.01;
+            cfg.faults.stuck_wear_threshold = 64;
+            cfg.faults.brownout_period = 12_000;
+            cfg.faults.brownout_duration = 2_000;
+        }
+        let pooled = run_json(&cfg, false);
+        let fresh = run_json(&cfg, true);
+        prop_assert_eq!(
+            pooled,
+            fresh,
+            "pooled vs fresh JSON diverged (seed {}, faults {})",
+            seed,
+            inject_faults
+        );
+    }
+}
