@@ -19,6 +19,10 @@
 //!   values is almost always a latent epsilon bug.
 //! * [`Rule::UnsafeNoSafety`] — every `unsafe` must carry a
 //!   `// SAFETY:` comment.
+//! * [`Rule::SchemeIsolation`] — scheme policy knobs (write cancellation,
+//!   pausing, truncation, PreSET, controller feedback) may only be
+//!   mutated inside the scheme module; engine stages must consume them
+//!   through the `Scheme` trait hooks.
 //!
 //! Intentional exceptions are annotated in source with a directive
 //! comment: `fpb-lint: allow(rule_name)` suppresses the named rule(s) on
@@ -47,11 +51,13 @@ pub enum Rule {
     UnsafeNoSafety,
     /// A crate with no `unsafe` whose root lacks `#![forbid(unsafe_code)]`.
     MissingForbidUnsafe,
+    /// Scheme policy field mutated outside the scheme module.
+    SchemeIsolation,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::PanicFreedom,
         Rule::Determinism,
         Rule::HashOrder,
@@ -59,6 +65,7 @@ impl Rule {
         Rule::FloatEq,
         Rule::UnsafeNoSafety,
         Rule::MissingForbidUnsafe,
+        Rule::SchemeIsolation,
     ];
 
     /// Stable machine-readable name (used in the baseline, the JSON
@@ -72,6 +79,7 @@ impl Rule {
             Rule::FloatEq => "float_eq",
             Rule::UnsafeNoSafety => "unsafe_no_safety",
             Rule::MissingForbidUnsafe => "missing_forbid_unsafe",
+            Rule::SchemeIsolation => "scheme_isolation",
         }
     }
 
@@ -94,6 +102,9 @@ impl Rule {
             Rule::MissingForbidUnsafe => {
                 "crates without unsafe should lock that in with #![forbid(unsafe_code)]"
             }
+            Rule::SchemeIsolation => {
+                "scheme policy is composed in the scheme module; stages consume it via hooks"
+            }
         }
     }
 
@@ -113,6 +124,8 @@ impl Rule {
                 matches!(crate_key, "core" | "sim" | "pcm" | "types")
             }
             Rule::UnsafeNoSafety | Rule::MissingForbidUnsafe => true,
+            // The Scheme trait and its composable setup live in fpb-sim.
+            Rule::SchemeIsolation => crate_key == "sim",
         }
     }
 }
@@ -151,6 +164,18 @@ const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// state contracts, and `debug_assert!` vanishes in release builds).
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
+/// Scheme policy fields ([`Rule::SchemeIsolation`]): assigning to one of
+/// these through a field access outside the scheme module bypasses the
+/// `Scheme` trait composition.
+const SCHEME_FIELDS: [&str; 6] = [
+    "cancellation",
+    "pausing",
+    "truncation_ecc",
+    "pre_write_read",
+    "preset",
+    "worst_case_hold",
+];
+
 /// Scans one file's source text.
 ///
 /// * `file` — repo-relative path used in diagnostics.
@@ -163,6 +188,7 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"
 pub fn scan_source(file: &str, crate_key: &str, src: &str) -> Vec<Violation> {
     let lexed = lex(src);
     let test_file = is_test_file(file);
+    let scheme_module = is_scheme_module(file);
     let test_lines = test_region_lines(&lexed.tokens);
     let allow = Directives::parse(&lexed.comments);
     let domain_lines = domain_word_lines(&lexed.tokens);
@@ -278,6 +304,18 @@ pub fn scan_source(file: &str, crate_key: &str, src: &str) -> Vec<Violation> {
                     }
                 }
             }
+            name if SCHEME_FIELDS.contains(&name)
+                && !in_test
+                && !scheme_module
+                && is_field_assignment(toks, i) =>
+            {
+                emit(
+                    Rule::SchemeIsolation,
+                    t.line,
+                    format!("scheme policy field `{name}` mutated outside the scheme module"),
+                    &mut out,
+                );
+            }
             "unsafe" => {
                 // Applies in test code too: unsafe is unsafe everywhere.
                 let documented = (t.line.saturating_sub(3)..=t.line)
@@ -295,6 +333,31 @@ pub fn scan_source(file: &str, crate_key: &str, src: &str) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// True if the file belongs to the scheme module (the one place allowed
+/// to compose and mutate scheme policy).
+fn is_scheme_module(file: &str) -> bool {
+    let normalized = file.replace('\\', "/");
+    normalized.contains("/scheme/") || normalized.ends_with("/scheme.rs")
+}
+
+/// True when identifier token `i` is the field of a plain or compound
+/// assignment: preceded by `.`, followed by `=` (or `op=`) but not `==`.
+fn is_field_assignment(toks: &[Token], i: usize) -> bool {
+    if i == 0 || !toks[i - 1].is_punct('.') {
+        return false;
+    }
+    let mut j = i + 1;
+    // Compound assignment: one operator punct before the `=`.
+    if toks
+        .get(j)
+        .is_some_and(|t| matches!(t.kind, TokKind::Punct(c) if "+-*/%&|^".contains(c)))
+    {
+        j += 1;
+    }
+    toks.get(j).is_some_and(|t| t.is_punct('='))
+        && !toks.get(j + 1).is_some_and(|t| t.is_punct('='))
 }
 
 /// True if the whole file is test/bench/example code.

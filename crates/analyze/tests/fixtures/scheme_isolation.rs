@@ -1,0 +1,51 @@
+//! Scheme-isolation fixture: scheme policy fields may only be mutated
+//! inside the scheme module. Tilde markers name expected hits.
+//!
+//! Scanned with crate key `sim` and a path outside `src/scheme/`, as if
+//! an engine stage reached into the setup directly.
+
+pub fn flip_boosts(setup: &mut SchemeSetup) {
+    setup.boosts.cancellation = true; //~ scheme_isolation
+    setup.boosts.pausing = false; //~ scheme_isolation
+}
+
+pub fn retune_termination(setup: &mut SchemeSetup) {
+    setup.termination.truncation_ecc = Some(8); //~ scheme_isolation
+    setup.termination.preset = true; //~ scheme_isolation
+}
+
+pub fn fake_feedback(setup: &mut SchemeSetup) {
+    setup.controller.pre_write_read = false; //~ scheme_isolation
+    setup.controller.worst_case_hold = true; //~ scheme_isolation
+}
+
+pub fn reads_are_fine(setup: &SchemeSetup) -> bool {
+    setup.boosts.cancellation && !setup.termination.preset
+}
+
+pub fn comparisons_are_fine(setup: &SchemeSetup) -> bool {
+    setup.controller.pre_write_read == setup.boosts.pausing
+        && setup.termination.truncation_ecc != None
+}
+
+pub fn unrelated_fields_are_fine(bank: &mut Bank) {
+    bank.pausing_count = 3; // not a field access chain ending in a knob
+    bank.stalls = 0;
+}
+
+pub fn struct_literals_are_fine() -> ReadBoosts {
+    ReadBoosts {
+        cancellation: true,
+        pausing: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_poke_policy_directly() {
+        let mut setup = SchemeSetup::default();
+        setup.boosts.cancellation = true;
+        setup.termination.preset = true;
+    }
+}

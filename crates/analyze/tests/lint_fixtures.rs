@@ -76,6 +76,22 @@ fn unsafe_hygiene_fixture() {
 }
 
 #[test]
+fn scheme_isolation_fixture() {
+    assert_fixture("scheme_isolation.rs", "sim");
+}
+
+#[test]
+fn scheme_isolation_is_exempt_inside_the_scheme_module() {
+    // The same mutations under a scheme-module path report nothing: the
+    // module is the one place allowed to compose policy.
+    let src = fixture("scheme_isolation.rs");
+    assert!(
+        scan_source("crates/sim/src/scheme/setup.rs", "sim", &src).is_empty(),
+        "scheme module paths must be exempt"
+    );
+}
+
+#[test]
 fn allow_file_fixture_is_clean() {
     assert_fixture("allow_file.rs", "core");
 }
@@ -102,6 +118,7 @@ fn every_rule_is_covered_by_a_fixture() {
         "truncating_cast.rs",
         "float_eq.rs",
         "unsafe_hygiene.rs",
+        "scheme_isolation.rs",
     ]
     .iter()
     .flat_map(|name| markers(&fixture(name)).into_iter().map(|(r, _)| r))

@@ -8,7 +8,7 @@
 //!   per chip so near chips pay less wire loss — better effective
 //!   efficiency at the cost of control logic.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
@@ -21,11 +21,11 @@ fn main() {
     let setups = vec![
         SchemeSetup::dimm_chip(&cfg),
         SchemeSetup::fpb(&cfg),
-        SchemeSetup::fpb(&cfg).with_gcp_regulation(),
+        SchemeSetup::fpb(&cfg).with_gcp_regulation().expect("fpb has a GCP"),
         SchemeSetup::fpb(&cfg).with_preset(),
         SchemeSetup::ideal(&cfg),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Ablation: PreSET and per-chip GCP regulation (E_GCP = 0.5), vs DIMM+chip",

@@ -6,7 +6,7 @@
 //! adopts Fang et al.'s universal memory interface precisely to avoid
 //! this; this ablation quantifies how much that choice is worth.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
@@ -21,7 +21,7 @@ fn main() {
         SchemeSetup::ideal(&cfg),
         SchemeSetup::ideal(&cfg).with_worst_case_mc(),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Ablation: feedback-less (worst-case) MC, vs DIMM+chip with feedback",

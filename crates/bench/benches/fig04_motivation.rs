@@ -7,7 +7,7 @@
 //! Expected shape (§2.2): DIMM-only loses ~33 % and DIMM+chip ~51 % vs
 //! Ideal; PWL and Sche-X barely help; 2×local nearly recovers DIMM-only.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows, Row};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows, Row};
 use fpb_sim::engine::{run_workload_warmed, warm_cores};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
@@ -25,7 +25,7 @@ fn main() {
         SchemeSetup::scaled_local(&cfg, 1.5),
         SchemeSetup::scaled_local(&cfg, 2.0),
     ];
-    let mut matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let mut matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
 
     // Sche-X: DIMM+chip with out-of-order write scheduling over an X-entry
     // queue (the engine always scans the whole queue, so Sche-X is the

@@ -4,7 +4,7 @@
 //! Expected shape (§6.1.1): GCP-NE-0.95 ≈ DIMM-only; effectiveness decays
 //! as E_GCP drops, nearly vanishing at 0.5 under the naïve mapping.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows};
 use fpb_pcm::CellMapping;
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
@@ -21,7 +21,7 @@ fn main() {
         SchemeSetup::gcp(&cfg, CellMapping::Naive, 0.7),
         SchemeSetup::gcp(&cfg, CellMapping::Naive, 0.5),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Figure 11: speedup vs DIMM+chip for GCP efficiencies (naive mapping)",

@@ -4,7 +4,7 @@
 //! Expected shape (§6.1.2): VIM/BIM beat NE at the same efficiency, and
 //! keep the GCP effective even at E_GCP = 0.5.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows};
 use fpb_pcm::CellMapping;
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
@@ -22,7 +22,7 @@ fn main() {
         SchemeSetup::gcp(&cfg, CellMapping::Bim, 0.7),
         SchemeSetup::gcp(&cfg, CellMapping::Bim, 0.5),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Figure 12: speedup of cell-mapping optimizations vs DIMM+chip",

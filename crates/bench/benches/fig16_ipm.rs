@@ -4,7 +4,7 @@
 //! Expected shape (§6.2.1): IPM adds a large step over GCP-BIM; IPM+MR
 //! adds a further margin; the result lands within ~12 % of Ideal.
 
-use fpb_bench::{all_workloads, bench_options, geometric_mean, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, geometric_mean, print_table, run_matrix_setups, speedup_rows};
 use fpb_sim::engine::{run_workload_warmed, warm_cores};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
@@ -21,7 +21,7 @@ fn main() {
         SchemeSetup::fpb(&cfg),
         SchemeSetup::ideal(&cfg),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Figure 16: IPM and Multi-RESET speedup vs DIMM+chip (GCP-BIM-0.7)",

@@ -4,7 +4,7 @@
 //! Expected shape (§6.2.2): 3 splits is the sweet spot; 4 adds write
 //! latency for little extra admission benefit.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
@@ -19,7 +19,7 @@ fn main() {
         SchemeSetup::fpb_with_splits(&cfg, 3),
         SchemeSetup::fpb_with_splits(&cfg, 4),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Figure 17: Multi-RESET split limit, speedup vs DIMM+chip",

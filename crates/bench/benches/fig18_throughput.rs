@@ -4,7 +4,7 @@
 //! GCP+IPM+MR multiply write throughput severalfold (3.4× in the paper),
 //! still short of Ideal.
 
-use fpb_bench::{all_workloads, bench_options, geometric_mean, print_table, run_matrix, Row};
+use fpb_bench::{all_workloads, bench_options, geometric_mean, print_table, run_matrix_setups, Row};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
@@ -20,7 +20,7 @@ fn main() {
         SchemeSetup::fpb(&cfg),
         SchemeSetup::ideal(&cfg),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
 
     let mut rows = Vec::new();
     for (wl, ms) in wls.iter().zip(&matrix) {

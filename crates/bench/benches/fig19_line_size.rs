@@ -5,7 +5,6 @@
 //! writes barely stress the budget; 256 B writes stress it heavily).
 
 use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, Row};
-use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
 fn main() {
@@ -22,8 +21,7 @@ fn main() {
         .collect();
     for &bytes in &sizes {
         let cfg = SystemConfig::default().with_line_bytes(bytes);
-        let setups = [SchemeSetup::dimm_chip(&cfg), SchemeSetup::fpb(&cfg)];
-        let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+        let matrix = run_matrix(&cfg, &wls, &["dimm-chip", "fpb"], &opts);
         for (wi, ms) in matrix.iter().enumerate() {
             rows[wi].values.push(ms[1].speedup_over(&ms[0]));
         }

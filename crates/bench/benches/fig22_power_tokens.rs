@@ -6,7 +6,6 @@
 //! careful budgeting matters most when tokens are scarce.
 
 use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, Row};
-use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
 fn main() {
@@ -23,8 +22,7 @@ fn main() {
         .collect();
     for &pt in &budgets {
         let cfg = SystemConfig::default().with_pt_dimm(pt);
-        let setups = [SchemeSetup::dimm_chip(&cfg), SchemeSetup::fpb(&cfg)];
-        let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+        let matrix = run_matrix(&cfg, &wls, &["dimm-chip", "fpb"], &opts);
         for (wi, ms) in matrix.iter().enumerate() {
             rows[wi].values.push(ms[1].speedup_over(&ms[0]));
         }

@@ -4,7 +4,7 @@
 //! The paper enlarges the queues to 320 entries for WC (§6.4.5). Expected
 //! shape: the read-latency-reduction techniques stack on top of FPB.
 
-use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
+use fpb_bench::{all_workloads, bench_options, print_table, run_matrix_setups, speedup_rows};
 use fpb_sim::SchemeSetup;
 use fpb_types::SystemConfig;
 
@@ -29,7 +29,7 @@ fn main() {
         SchemeSetup::fpb(&cfg).with_wc().with_wp(),
         SchemeSetup::fpb(&cfg).with_wc().with_wp().with_wt(8),
     ];
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix_setups(&cfg, &wls, &setups, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table(
         "Figure 23: FPB with WC, WP and WT (320-entry queues), vs DIMM+chip",

@@ -7,23 +7,21 @@
 //! ```
 
 use fpb_bench::{all_workloads, bench_options, print_table, run_matrix, speedup_rows};
-use fpb_sim::SchemeSetup;
+use fpb_sim::SchemeRegistry;
 use fpb_types::SystemConfig;
 
 fn main() {
     let cfg = SystemConfig::default();
     let opts = bench_options();
-    let setups = vec![
-        SchemeSetup::dimm_chip(&cfg),
-        SchemeSetup::dimm_only(&cfg),
-        SchemeSetup::gcp(&cfg, fpb_pcm::CellMapping::Bim, 0.7),
-        SchemeSetup::gcp_ipm(&cfg),
-        SchemeSetup::fpb(&cfg),
-        SchemeSetup::ideal(&cfg),
-    ];
-    let labels: Vec<&str> = setups.iter().map(|s| s.label.as_str()).collect();
+    let specs = ["dimm-chip", "dimm-only", "gcp:bim:0.7", "gcp-ipm", "fpb", "ideal"];
+    let registry = SchemeRegistry::standard();
+    let labels: Vec<String> = specs
+        .iter()
+        .map(|spec| registry.build(spec, &cfg).expect("calibrate spec").label)
+        .collect();
+    let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
     let wls = all_workloads();
-    let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+    let matrix = run_matrix(&cfg, &wls, &specs, &opts);
     let rows = speedup_rows(&wls, &matrix, 0);
     print_table("Calibration: speedup vs DIMM+chip", &labels, &rows);
 

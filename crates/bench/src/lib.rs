@@ -21,7 +21,7 @@
 use fpb_sim::engine::{run_workload_warmed, warm_cores};
 use fpb_sim::exec::{default_jobs, parallel_map_indexed};
 use fpb_sim::metrics::gmean;
-use fpb_sim::{Metrics, SchemeSetup, SimOptions};
+use fpb_sim::{Metrics, SchemeRegistry, SchemeSetup, SimOptions};
 use fpb_trace::catalog::{self, Workload, WORKLOADS};
 use fpb_types::SystemConfig;
 
@@ -76,12 +76,37 @@ pub struct Row {
     pub values: Vec<f64>,
 }
 
-/// Runs `setups` over `workloads` and returns per-workload metrics
-/// (indexed `[workload][setup]`).
+/// Runs the schemes named by registry `specs` over `workloads` and
+/// returns per-workload metrics (indexed `[workload][spec]`).
+///
+/// # Panics
+///
+/// Panics if any spec does not resolve in the [`SchemeRegistry`].
+pub fn run_matrix(
+    cfg: &SystemConfig,
+    workloads: &[Workload],
+    specs: &[&str],
+    opts: &SimOptions,
+) -> Vec<Vec<Metrics>> {
+    let registry = SchemeRegistry::standard();
+    let setups: Vec<SchemeSetup> = specs
+        .iter()
+        .map(|spec| {
+            registry
+                .build(spec, cfg)
+                .unwrap_or_else(|e| panic!("scheme spec `{spec}`: {e}"))
+        })
+        .collect();
+    run_matrix_setups(cfg, workloads, &setups, opts)
+}
+
+/// Runs already-built `setups` over `workloads` and returns per-workload
+/// metrics (indexed `[workload][setup]`) — for benches composing setups
+/// the spec grammar cannot express (e.g. builder-chained ablations).
 ///
 /// Workloads fan across [`bench_jobs`] worker threads; results keep
 /// workload order and are identical to a serial run.
-pub fn run_matrix(
+pub fn run_matrix_setups(
     cfg: &SystemConfig,
     workloads: &[Workload],
     setups: &[SchemeSetup],
@@ -170,7 +195,6 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fpb_sim::SchemeSetup;
 
     #[test]
     fn options_default_and_env_parse() {
@@ -195,9 +219,8 @@ mod tests {
     fn speedup_rows_normalize_to_baseline() {
         let cfg = SystemConfig::default();
         let wls = vec![catalog::workload("mcf_m").unwrap()];
-        let setups = vec![SchemeSetup::dimm_chip(&cfg), SchemeSetup::ideal(&cfg)];
         let opts = SimOptions::with_instructions(60_000);
-        let matrix = run_matrix(&cfg, &wls, &setups, &opts);
+        let matrix = run_matrix(&cfg, &wls, &["dimm-chip", "ideal"], &opts);
         let rows = speedup_rows(&wls, &matrix, 0);
         assert_eq!(rows.len(), 2); // workload + gmean
         assert_eq!(rows[0].values[0], 1.0, "baseline column is 1.0");

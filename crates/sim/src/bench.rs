@@ -17,7 +17,7 @@ use fpb_trace::catalog;
 use fpb_types::SystemConfig;
 
 use crate::engine::SimOptions;
-use crate::setup::SchemeSetup;
+use crate::scheme::SchemeSetup;
 use crate::sweep::{run_sweep_jobs, Axis, SweepPoint};
 
 /// Workload the fixed benchmark grid runs (write-heavy, so the power
@@ -181,27 +181,11 @@ pub fn run_fixed_bench(jobs: usize, instructions_per_core: u64) -> Option<BenchR
     let opts = SimOptions::with_instructions(instructions_per_core);
 
     let t0 = Instant::now();
-    let serial = run_sweep_jobs(
-        &wl,
-        cfg.clone(),
-        &axes,
-        SchemeSetup::fpb,
-        SchemeSetup::dimm_chip,
-        &opts,
-        1,
-    );
+    let serial = run_sweep_jobs(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, 1);
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = run_sweep_jobs(
-        &wl,
-        cfg,
-        &axes,
-        SchemeSetup::fpb,
-        SchemeSetup::dimm_chip,
-        &opts,
-        jobs,
-    );
+    let parallel = run_sweep_jobs(&wl, cfg, &axes, "fpb", "dimm-chip", &opts, jobs);
     let parallel_s = t1.elapsed().as_secs_f64();
 
     let identical = points_identical(&serial, &parallel);

@@ -1,0 +1,152 @@
+//! Completion and reclaim: closing a round, the scheme's release hook
+//! (worst-case draining for feedback-less controllers), verify-failure
+//! recovery, cancellation, and buffer reclaim back into the pool.
+
+use fpb_types::Cycles;
+
+use crate::bank::BankState;
+use crate::request::WriteTask;
+use crate::scheme::{ReleaseAction, ReleaseCtx, Scheme, WriteLifecycle, WriteStage};
+
+use super::System;
+
+impl<S: Scheme> System<S> {
+    /// Closes the round that just completed its final iteration. The
+    /// scheme's release hook may hold the bank until the assumed
+    /// worst-case write time has elapsed (a controller without device
+    /// feedback cannot observe early completion, §2.1.1).
+    pub(super) fn finish_round(&mut self, bank: usize, task: WriteTask) {
+        let ctx = ReleaseCtx {
+            now: self.now,
+            round_started_at: task.round_started_at,
+        };
+        if self.setup.on_release(ctx) == ReleaseAction::HoldWorstCase {
+            let until = task.round_started_at + self.worst_case_write_cycles(&task);
+            if until > self.now {
+                WriteLifecycle::debug_check(WriteStage::Iterating, WriteStage::Draining);
+                self.set_bank_state(bank, BankState::Draining { task, until });
+                return;
+            }
+        }
+        self.finish_round_now(bank, task, WriteStage::Iterating);
+    }
+
+    /// Worst-case duration of the current round, as a controller without
+    /// device feedback must assume it (§2.1.1): every cell takes the P&V
+    /// bound.
+    fn worst_case_write_cycles(&self, task: &WriteTask) -> Cycles {
+        let resets = task.round().reset_groups() as u64;
+        let sets = self.sampler.worst_case_iterations().saturating_sub(1) as u64;
+        Cycles::new(
+            resets * self.cfg.pcm.reset_cycles + sets * self.cfg.pcm.set_cycles,
+        )
+    }
+
+    pub(super) fn finish_round_now(&mut self, bank: usize, mut task: WriteTask, from: WriteStage) {
+        self.power.release(task.id);
+        // Device fault hook: the round's closing verify may fail (skipped
+        // when the watchdog already force-closed the round — it must free
+        // the bank unconditionally).
+        if !task.watchdog_tripped {
+            if let Some(inj) = self.faults.as_mut() {
+                if inj.round_fails_verify(task.line) {
+                    self.handle_verify_failure(bank, task, from);
+                    return;
+                }
+            }
+        }
+        self.metrics.write_rounds += 1;
+        if self.metrics.per_chip_cells.is_empty() {
+            self.metrics.per_chip_cells = vec![0; self.cfg.pcm.chips as usize];
+        }
+        let per_chip = task.round().per_chip_changed();
+        self.endurance.record_write(task.line, &per_chip);
+        if let Some(inj) = self.faults.as_mut() {
+            inj.note_write(task.line, &self.endurance);
+        }
+        for (acc, c) in self.metrics.per_chip_cells.iter_mut().zip(per_chip) {
+            *acc += c as u64;
+        }
+        // Cells are programmed when their round closes, so the global and
+        // per-chip tallies accumulate at the same point — the two always
+        // agree even when a later round of the same task is still in
+        // flight at the end of the run.
+        self.metrics.cells_written += task.round().total_changed() as u64;
+        if task.round().was_truncated() {
+            self.metrics.truncations += 1;
+        }
+        // The round closed: its recovery bookkeeping starts fresh.
+        task.retries = 0;
+        task.iterations_spent = 0;
+        task.watchdog_tripped = false;
+        if task.next_round() {
+            WriteLifecycle::debug_check(from, WriteStage::RoundPending);
+            self.banks[bank].state = BankState::AwaitingRound {
+                task,
+                since: self.now,
+            };
+        } else {
+            WriteLifecycle::debug_check(from, WriteStage::Done);
+            self.metrics.pcm_writes += 1;
+            if self.scrub_period.is_some() {
+                if self.recent_writes.len() >= 4096 {
+                    self.recent_writes.pop_front();
+                }
+                self.recent_writes.push_back(task.line);
+            }
+            self.banks[bank].state = BankState::Idle;
+            if !self.reference_alloc {
+                self.pool.recycle_rounds(task.rounds);
+            }
+        }
+    }
+
+    /// A round's closing verify failed. Bounded recovery: retry the round
+    /// after an exponential backoff; once retries are exhausted, remap the
+    /// line to a spare and rewrite the round in SLC fallback mode (RESET
+    /// pulses only — single-level programming completes even on weak
+    /// cells).
+    fn handle_verify_failure(&mut self, bank: usize, mut task: WriteTask, from: WriteStage) {
+        WriteLifecycle::debug_check(from, WriteStage::Backoff);
+        let fcfg = &self.cfg.faults;
+        if task.retries < fcfg.max_retries {
+            task.retries += 1;
+            self.metrics.faults.retries += 1;
+            // Doubling backoff, shift-clamped so u8::MAX retries cannot
+            // overflow the cycle math.
+            let backoff = fcfg
+                .retry_backoff_cycles
+                .saturating_mul(1u64 << (u32::from(task.retries) - 1).min(16))
+                .max(1);
+            task.round_mut().restart();
+            self.set_bank_state(
+                bank,
+                BankState::Backoff {
+                    task,
+                    until: self.now + Cycles::new(backoff),
+                },
+            );
+        } else {
+            if let Some(inj) = self.faults.as_mut() {
+                inj.remap(task.line);
+            }
+            self.metrics.faults.remaps += 1;
+            self.metrics.faults.slc_fallbacks += 1;
+            task.retries = 0;
+            task.round_mut().restart();
+            task.round_mut().degrade_to_slc();
+            let until = self.now + Cycles::new(fcfg.retry_backoff_cycles.max(1));
+            self.set_bank_state(bank, BankState::Backoff { task, until });
+        }
+    }
+
+    /// Cancels an in-flight write at an iteration boundary: tokens are
+    /// released, the round restarts from scratch, and the task returns to
+    /// the head of the write queue.
+    pub(super) fn cancel_write(&mut self, mut task: WriteTask) {
+        self.power.release(task.id);
+        task.round_mut().restart();
+        self.metrics.cancellations += 1;
+        self.wrq.push_front(task);
+    }
+}

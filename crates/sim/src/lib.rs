@@ -11,8 +11,10 @@
 //! * [`bank`] — per-bank state machines (reading, write iterations,
 //!   stalls, pauses).
 //! * [`frontend`] — per-core trace replay + LLC.
-//! * [`setup`] — named scheme setups for every figure.
-//! * [`engine`] — the event loop.
+//! * [`scheme`] — the [`Scheme`] plugin trait, the composable
+//!   [`SchemeSetup`], the spec grammar, and the [`SchemeRegistry`]
+//!   resolving spec strings for every figure.
+//! * [`engine`] — the event loop, split into lifecycle stage modules.
 //! * [`metrics`] — CPI, write throughput, burst residency, power stats.
 //! * [`exec`] — the worker pool fanning independent runs across threads.
 //! * [`bench`] — the fixed self-measuring benchmark behind `fpb bench`.
@@ -44,7 +46,7 @@ pub mod frontend;
 pub mod metrics;
 pub mod report;
 pub mod request;
-pub mod setup;
+pub mod scheme;
 pub mod sweep;
 pub mod timeline;
 
@@ -53,5 +55,5 @@ pub use engine::{run_workload, try_run_workload, SimOptions, System};
 pub use exec::{default_jobs, parallel_map_indexed};
 pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};
-pub use setup::SchemeSetup;
+pub use scheme::{Scheme, SchemeError, SchemeRegistry, SchemeSetup};
 pub use timeline::{RenderError, Timeline};

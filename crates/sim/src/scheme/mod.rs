@@ -1,0 +1,245 @@
+//! Scheme-as-plugin layer: every paper figure compares *schemes* (Ideal,
+//! DIMM-only, DIMM+chip, PWL, GCP-{NE,VIM,BIM}, IPM+MRm, FPB±WC/WP/WT/
+//! PreSET), and this module is where a scheme lives as a first-class
+//! object instead of a bag of flags the engine re-interprets.
+//!
+//! The pieces:
+//!
+//! - [`Scheme`]: the trait the engine drives. Construction accessors
+//!   (`policy`, `map_line`, `wear_period`, …) shape the system at build
+//!   time; lifecycle hooks ([`Scheme::on_admit`], [`Scheme::on_iteration`],
+//!   [`Scheme::on_read_arrival`], [`Scheme::on_release`]) are consulted at
+//!   the [`WriteStage`] boundaries of every write.
+//! - [`SchemeSetup`]: the standard implementation — a composition of
+//!   [`setup::ReadBoosts`], [`setup::WriteTermination`],
+//!   [`setup::ControllerModel`] and [`setup::WearLeveling`] components
+//!   around a power policy and a cell mapping.
+//! - [`SchemeSpec`]: the parsed form of spec strings such as
+//!   `"fpb+wc+wt8"` or `"gcp:vim:0.5"`.
+//! - [`SchemeRegistry`]: parses specs, builds [`SchemeSetup`]s, and
+//!   enumerates every paper-figure scheme by name.
+//! - [`WriteLifecycle`]: the typed write-lifecycle state machine the
+//!   engine's stage modules are checked against.
+
+pub mod lifecycle;
+pub mod registry;
+pub mod setup;
+pub mod spec;
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use fpb_core::PowerPolicyConfig;
+use fpb_pcm::CellMapping;
+use fpb_types::{Cycles, MlcWriteModel};
+
+use crate::request::ReadTask;
+
+pub use lifecycle::{WriteLifecycle, WriteStage};
+pub use registry::{SchemeEntry, SchemeRegistry};
+pub use setup::{ControllerModel, ReadBoosts, SchemeSetup, WearLeveling, WriteTermination};
+pub use spec::{Modifier, SchemeBase, SchemeSpec};
+
+/// Error produced while parsing a scheme spec, composing a scheme, or
+/// validating one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// The spec string does not name a registered scheme.
+    UnknownScheme(String),
+    /// The spec string is malformed (bad argument or modifier).
+    BadSpec(String),
+    /// A modifier needs a GCP but the scheme's policy has none.
+    MissingGcp(&'static str),
+    /// The composed scheme fails validation.
+    Invalid(String),
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::UnknownScheme(s) => {
+                write!(f, "unknown scheme `{s}` (see `fpb run --scheme help`)")
+            }
+            SchemeError::BadSpec(s) => write!(f, "bad scheme spec: {s}"),
+            SchemeError::MissingGcp(what) => write!(f, "{what} needs a GCP"),
+            SchemeError::Invalid(s) => write!(f, "invalid scheme: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// What to do with a write the controller just admitted to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitAction {
+    /// Charge the bridge chip's comparison read first (IPM's change
+    /// discovery, §3.1); programming starts when it completes.
+    PreRead,
+    /// Start programming immediately.
+    Program,
+}
+
+/// What to do at an iteration boundary of an in-flight write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationAction {
+    /// Keep iterating (subject to token admission).
+    Proceed,
+    /// Park the write so the bank can serve reads (write pausing).
+    Pause,
+}
+
+/// What to do with an in-flight write when a read arrives for its bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadArrivalAction {
+    /// Let the write keep its bank.
+    Proceed,
+    /// Cancel the write at the next iteration boundary and re-queue it
+    /// (write cancellation).
+    CancelAtBoundary,
+}
+
+/// What to do with the bank and tokens of a round that just converged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseAction {
+    /// Free the bank and tokens immediately (feedback-aware controller).
+    Free,
+    /// Hold them until the worst-case P&V bound elapses — the
+    /// feedback-less controller of §2.1.1 cannot observe early
+    /// convergence.
+    HoldWorstCase,
+}
+
+/// Context for [`Scheme::on_admit`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmitCtx {
+    /// Whether this task already performed its comparison read (a write
+    /// re-admitted after cancellation keeps its discovered change set).
+    pub pre_read_done: bool,
+}
+
+/// Context for [`Scheme::on_read_arrival`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReadArrivalCtx {
+    /// Fraction of the in-flight round already programmed (0.0 during the
+    /// pre-read).
+    pub progress: f64,
+}
+
+/// Context for [`Scheme::on_release`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseCtx {
+    /// Current simulation time.
+    pub now: Cycles,
+    /// When the converged round was admitted.
+    pub round_started_at: Cycles,
+}
+
+/// Context for [`Scheme::on_iteration`]. Queue inspection is lazy: the
+/// engine only pays for the bank scan when a hook actually calls
+/// [`IterationCtx::bank_has_waiting_read`].
+#[derive(Debug)]
+pub struct IterationCtx<'a> {
+    /// Bank holding the write.
+    pub bank: usize,
+    /// Whether the controller is in write-burst mode (reads are blocked,
+    /// so yielding the bank to them is pointless).
+    pub in_burst: bool,
+    rdq: &'a VecDeque<ReadTask>,
+    pending_reads: &'a VecDeque<ReadTask>,
+}
+
+impl<'a> IterationCtx<'a> {
+    pub(crate) fn new(
+        bank: usize,
+        in_burst: bool,
+        rdq: &'a VecDeque<ReadTask>,
+        pending_reads: &'a VecDeque<ReadTask>,
+    ) -> Self {
+        IterationCtx {
+            bank,
+            in_burst,
+            rdq,
+            pending_reads,
+        }
+    }
+
+    /// Whether any queued or blocked read targets this write's bank.
+    pub fn bank_has_waiting_read(&self) -> bool {
+        self.rdq.iter().any(|r| r.bank.index() == self.bank)
+            || self
+                .pending_reads
+                .iter()
+                .any(|r| r.bank.index() == self.bank)
+    }
+}
+
+/// A power-budgeting scheme, as the engine sees it.
+///
+/// Construction accessors shape the [`crate::System`] at build time
+/// (which power policy, cell mapping, iteration model and wear leveler to
+/// instantiate); the `on_*` lifecycle hooks are consulted at every
+/// [`WriteStage`] boundary, replacing the flag checks the engine core
+/// used to hard-code. The default hook bodies describe the plain
+/// feedback-aware controller: program immediately, never pause, never
+/// cancel, free the bank as soon as the device reports convergence.
+///
+/// [`SchemeSetup`] is the standard implementation; the trait exists so
+/// new schemes (content-aware placement, write-energy encodings, …) can
+/// plug into the engine without editing its stage modules.
+pub trait Scheme: fmt::Debug {
+    /// Figure-legend label.
+    fn label(&self) -> &str;
+
+    /// Power-budgeting policy used to build the [`fpb_core::PowerManager`].
+    fn policy(&self) -> &PowerPolicyConfig;
+
+    /// Static cell-to-chip mapping used for round splitting and chip
+    /// accounting.
+    fn map_line(&self) -> CellMapping;
+
+    /// Intra-line wear-leveling shift period (`None` disables it).
+    fn wear_period(&self) -> Option<u32> {
+        None
+    }
+
+    /// Write-truncation ECC budget: correctable cells per line, `None`
+    /// disables truncation.
+    fn truncation_ecc(&self) -> Option<u32> {
+        None
+    }
+
+    /// Per-level iteration model, derived from the device's base model
+    /// (PreSET replaces it with single-RESET programming).
+    fn iteration_model(&self, base: &MlcWriteModel) -> MlcWriteModel {
+        base.clone()
+    }
+
+    /// Checks the scheme for internal consistency.
+    fn validate(&self) -> Result<(), SchemeError>;
+
+    /// Called when the controller admits a write to a bank.
+    fn on_admit(&self, ctx: AdmitCtx) -> AdmitAction {
+        let _ = ctx;
+        AdmitAction::Program
+    }
+
+    /// Called at every iteration boundary of an incomplete round, before
+    /// token re-admission.
+    fn on_iteration(&self, ctx: &IterationCtx<'_>) -> IterationAction {
+        let _ = ctx;
+        IterationAction::Proceed
+    }
+
+    /// Called when a read arrives for a bank holding an in-flight write.
+    fn on_read_arrival(&self, ctx: ReadArrivalCtx) -> ReadArrivalAction {
+        let _ = ctx;
+        ReadArrivalAction::Proceed
+    }
+
+    /// Called when a round converges, deciding whether the bank and its
+    /// tokens are freed immediately or held to the worst-case bound.
+    fn on_release(&self, ctx: ReleaseCtx) -> ReleaseAction {
+        let _ = ctx;
+        ReleaseAction::Free
+    }
+}

@@ -1,0 +1,513 @@
+//! Named scheme setups: everything a run varies besides the workload and
+//! the system config, composed from scheme components.
+
+use fpb_core::{PowerPolicyConfig, SchemeKind};
+use fpb_pcm::CellMapping;
+use fpb_types::{MlcLevelModel, MlcWriteModel, SystemConfig};
+
+use super::{
+    AdmitAction, AdmitCtx, IterationAction, IterationCtx, ReadArrivalAction, ReadArrivalCtx,
+    ReleaseAction, ReleaseCtx, Scheme, SchemeError,
+};
+
+/// Read-latency add-on component (§6.4.5): what happens to an in-flight
+/// write when reads contend for its bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadBoosts {
+    /// Write cancellation (WC): abort a young write so the read proceeds.
+    pub cancellation: bool,
+    /// Write pausing (WP): park the write at an iteration boundary.
+    pub pausing: bool,
+}
+
+impl ReadBoosts {
+    /// WC hook: cancel only while less than half the round is programmed
+    /// (beyond that, finishing is cheaper than redoing).
+    pub fn on_read_arrival(&self, ctx: ReadArrivalCtx) -> ReadArrivalAction {
+        if self.cancellation && ctx.progress < 0.5 {
+            ReadArrivalAction::CancelAtBoundary
+        } else {
+            ReadArrivalAction::Proceed
+        }
+    }
+
+    /// WP hook: pause when a read waits on the bank — except during a
+    /// write burst, when reads are blocked anyway. The waiting-read scan
+    /// only runs when pausing is enabled and the burst check passes.
+    pub fn on_iteration(&self, ctx: &IterationCtx<'_>) -> IterationAction {
+        if self.pausing && !ctx.in_burst && ctx.bank_has_waiting_read() {
+            IterationAction::Pause
+        } else {
+            IterationAction::Proceed
+        }
+    }
+}
+
+/// Write-shortening component: techniques that end a write's programming
+/// early or compress it into fewer iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteTermination {
+    /// Write truncation (WT): ECC-correctable cell count, `None` disables.
+    pub truncation_ecc: Option<u32>,
+    /// PreSET extension (§7, ref. 22 of the paper): SET pulses are
+    /// performed in advance while the line is cached, so the eviction
+    /// write needs only a single RESET iteration — much faster, but
+    /// demanding full RESET power for every changed cell at once.
+    pub preset: bool,
+}
+
+impl WriteTermination {
+    /// The per-level iteration model this component imposes on the device
+    /// model: PreSET collapses every level to one RESET pulse.
+    pub fn iteration_model(&self, base: &MlcWriteModel) -> MlcWriteModel {
+        if self.preset {
+            let one = MlcLevelModel::Fixed(1);
+            MlcWriteModel {
+                l00: one.clone(),
+                l01: one.clone(),
+                l10: one.clone(),
+                l11: one,
+            }
+        } else {
+            base.clone()
+        }
+    }
+}
+
+/// Memory-controller feedback component: how much the controller learns
+/// from the device while a write runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerModel {
+    /// Charge the bridge chip's read-before-write (IPM's change
+    /// discovery, §3.1).
+    pub pre_write_read: bool,
+    /// Feedback-less memory controller (§2.1.1): without the on-DIMM
+    /// bridge chip, the controller must assume every write takes the
+    /// worst-case iteration count — banks and tokens stay held until that
+    /// time even when the write converged early.
+    pub worst_case_hold: bool,
+}
+
+impl ControllerModel {
+    /// Admission hook: IPM discovers changes with a comparison read first.
+    pub fn on_admit(&self, ctx: AdmitCtx) -> AdmitAction {
+        if self.pre_write_read && !ctx.pre_read_done {
+            AdmitAction::PreRead
+        } else {
+            AdmitAction::Program
+        }
+    }
+
+    /// Release hook: a feedback-less controller holds converged rounds to
+    /// the worst-case bound.
+    pub fn on_release(&self, _ctx: ReleaseCtx) -> ReleaseAction {
+        if self.worst_case_hold {
+            ReleaseAction::HoldWorstCase
+        } else {
+            ReleaseAction::Free
+        }
+    }
+}
+
+/// Intra-line wear-leveling component (the PWL baseline, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearLeveling {
+    /// Rotation period in writes; `None` disables leveling.
+    pub period: Option<u32>,
+}
+
+/// A complete scheme under test: power policy, cell mapping, and the
+/// composable components above. Implements [`Scheme`], which is how the
+/// engine consumes it — the engine never reads these flags directly.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::SchemeSetup;
+/// use fpb_types::SystemConfig;
+///
+/// let cfg = SystemConfig::default();
+/// let fpb = SchemeSetup::fpb(&cfg);
+/// assert!(fpb.policy.ipm);
+/// assert_eq!(fpb.label, "FPB");
+///
+/// let gcp = SchemeSetup::gcp(&cfg, fpb_pcm::CellMapping::Vim, 0.5);
+/// assert_eq!(gcp.label, "GCP-VIM-0.5");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeSetup {
+    /// Legend label.
+    pub label: String,
+    /// Power-budgeting policy.
+    pub policy: PowerPolicyConfig,
+    /// Static cell-to-chip mapping.
+    pub mapping: CellMapping,
+    /// Intra-line wear leveling.
+    pub wear: WearLeveling,
+    /// Read-latency add-ons (WC/WP).
+    pub boosts: ReadBoosts,
+    /// Write-shortening techniques (WT/PreSET).
+    pub termination: WriteTermination,
+    /// Controller feedback model (IPM pre-read, worst-case hold).
+    pub controller: ControllerModel,
+}
+
+impl SchemeSetup {
+    fn base(label: impl Into<String>, policy: PowerPolicyConfig) -> Self {
+        let pre_write_read = policy.ipm;
+        SchemeSetup {
+            label: label.into(),
+            policy,
+            mapping: CellMapping::Naive,
+            wear: WearLeveling::default(),
+            boosts: ReadBoosts::default(),
+            termination: WriteTermination::default(),
+            controller: ControllerModel {
+                pre_write_read,
+                worst_case_hold: false,
+            },
+        }
+    }
+
+    /// Unlimited power (the Fig. 4 normalization ceiling).
+    pub fn ideal(cfg: &SystemConfig) -> Self {
+        Self::base("Ideal", SchemeKind::Ideal.config(&cfg.power, cfg.pcm.chips))
+    }
+
+    /// Hay et al. with only the DIMM budget.
+    pub fn dimm_only(cfg: &SystemConfig) -> Self {
+        Self::base(
+            "DIMM-only",
+            SchemeKind::DimmOnly.config(&cfg.power, cfg.pcm.chips),
+        )
+    }
+
+    /// Hay et al. with DIMM and chip budgets (the paper's baseline).
+    pub fn dimm_chip(cfg: &SystemConfig) -> Self {
+        Self::base(
+            "DIMM+chip",
+            SchemeKind::DimmChip.config(&cfg.power, cfg.pcm.chips),
+        )
+    }
+
+    /// `DIMM+chip` plus near-perfect intra-line wear leveling (PWL, §2.2).
+    pub fn pwl(cfg: &SystemConfig) -> Self {
+        SchemeSetup {
+            label: "PWL".into(),
+            wear: WearLeveling { period: Some(8) },
+            ..Self::dimm_chip(cfg)
+        }
+    }
+
+    /// `DIMM+chip` with the chip budget scaled by `scale` (1.5 or 2.0).
+    pub fn scaled_local(cfg: &SystemConfig, scale: f64) -> Self {
+        let mut policy = SchemeKind::DimmChip.config(&cfg.power, cfg.pcm.chips);
+        policy.chip_budget_scale = scale;
+        Self::base(format!("{scale}xlocal"), policy)
+    }
+
+    /// FPB-GCP with a given cell mapping and GCP efficiency (no IPM).
+    pub fn gcp(cfg: &SystemConfig, mapping: CellMapping, e_gcp: f64) -> Self {
+        let mut policy = SchemeKind::Gcp.config(&cfg.power, cfg.pcm.chips);
+        if let Some(g) = policy.gcp.as_mut() {
+            g.e_gcp = e_gcp;
+        }
+        SchemeSetup {
+            mapping,
+            ..Self::base(format!("GCP-{}-{}", mapping.label(), e_gcp), policy)
+        }
+    }
+
+    /// FPB-GCP + FPB-IPM (default BIM at the config's `E_GCP`).
+    pub fn gcp_ipm(cfg: &SystemConfig) -> Self {
+        let policy = SchemeKind::GcpIpm.config(&cfg.power, cfg.pcm.chips);
+        SchemeSetup {
+            mapping: CellMapping::Bim,
+            ..Self::base("GCP+IPM", policy)
+        }
+    }
+
+    /// The full FPB scheme: GCP (BIM) + IPM + Multi-RESET(3).
+    pub fn fpb(cfg: &SystemConfig) -> Self {
+        let policy = SchemeKind::Fpb.config(&cfg.power, cfg.pcm.chips);
+        SchemeSetup {
+            mapping: CellMapping::Bim,
+            ..Self::base("FPB", policy)
+        }
+    }
+
+    /// FPB with a custom Multi-RESET split limit (Fig. 17).
+    pub fn fpb_with_splits(cfg: &SystemConfig, splits: u8) -> Self {
+        let mut s = Self::fpb(cfg);
+        s.policy.multi_reset_splits = splits;
+        s.label = format!("IPM+MR{splits}");
+        s
+    }
+
+    /// Adds write cancellation.
+    #[must_use]
+    pub fn with_wc(mut self) -> Self {
+        self.boosts.cancellation = true;
+        self.label.push_str("+WC");
+        self
+    }
+
+    /// Adds write pausing.
+    #[must_use]
+    pub fn with_wp(mut self) -> Self {
+        self.boosts.pausing = true;
+        self.label.push_str("+WP");
+        self
+    }
+
+    /// Adds write truncation with `ecc` correctable cells per line.
+    #[must_use]
+    pub fn with_wt(mut self, ecc: u32) -> Self {
+        self.termination.truncation_ecc = Some(ecc);
+        self.label.push_str("+WT");
+        self
+    }
+
+    /// Overrides the cell mapping.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: CellMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Enables the PreSET write mode (§7): single-RESET writes.
+    #[must_use]
+    pub fn with_preset(mut self) -> Self {
+        self.termination.preset = true;
+        self.label.push_str("+PreSET");
+        self
+    }
+
+    /// Models a feedback-less controller that assumes worst-case write
+    /// latency (the design §2.1.1 argues against).
+    #[must_use]
+    pub fn with_worst_case_mc(mut self) -> Self {
+        self.controller.worst_case_hold = true;
+        self.label.push_str("+worstcaseMC");
+        self
+    }
+
+    /// Enables per-chip GCP output regulation (§4.2's design alternative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::MissingGcp`] if the scheme has no GCP.
+    pub fn with_gcp_regulation(mut self) -> Result<Self, SchemeError> {
+        match self.policy.gcp.as_mut() {
+            Some(g) => {
+                g.per_chip_regulation = true;
+                self.label.push_str("+reg");
+                Ok(self)
+            }
+            None => Err(SchemeError::MissingGcp("per-chip regulation")),
+        }
+    }
+}
+
+impl Scheme for SchemeSetup {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn policy(&self) -> &PowerPolicyConfig {
+        &self.policy
+    }
+
+    fn map_line(&self) -> CellMapping {
+        self.mapping
+    }
+
+    fn wear_period(&self) -> Option<u32> {
+        self.wear.period
+    }
+
+    fn truncation_ecc(&self) -> Option<u32> {
+        self.termination.truncation_ecc
+    }
+
+    fn iteration_model(&self, base: &MlcWriteModel) -> MlcWriteModel {
+        self.termination.iteration_model(base)
+    }
+
+    fn validate(&self) -> Result<(), SchemeError> {
+        self.policy
+            .validate()
+            .map_err(|e| SchemeError::Invalid(format!("{}: {e}", self.label)))?;
+        if self.wear.period == Some(0) {
+            return Err(SchemeError::Invalid(format!(
+                "{}: wear-leveling period must be nonzero",
+                self.label
+            )));
+        }
+        Ok(())
+    }
+
+    fn on_admit(&self, ctx: AdmitCtx) -> AdmitAction {
+        self.controller.on_admit(ctx)
+    }
+
+    fn on_iteration(&self, ctx: &IterationCtx<'_>) -> IterationAction {
+        self.boosts.on_iteration(ctx)
+    }
+
+    fn on_read_arrival(&self, ctx: ReadArrivalCtx) -> ReadArrivalAction {
+        self.boosts.on_read_arrival(ctx)
+    }
+
+    fn on_release(&self, ctx: ReleaseCtx) -> ReleaseAction {
+        self.controller.on_release(ctx)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        let c = cfg();
+        assert_eq!(SchemeSetup::ideal(&c).label, "Ideal");
+        assert_eq!(SchemeSetup::dimm_only(&c).label, "DIMM-only");
+        assert_eq!(SchemeSetup::dimm_chip(&c).label, "DIMM+chip");
+        assert_eq!(SchemeSetup::scaled_local(&c, 2.0).label, "2xlocal");
+        assert_eq!(
+            SchemeSetup::gcp(&c, CellMapping::Naive, 0.95).label,
+            "GCP-NE-0.95"
+        );
+        assert_eq!(SchemeSetup::fpb_with_splits(&c, 4).label, "IPM+MR4");
+        assert_eq!(
+            SchemeSetup::fpb(&c).with_wc().with_wp().with_wt(8).label,
+            "FPB+WC+WP+WT"
+        );
+    }
+
+    #[test]
+    fn pre_read_tracks_ipm() {
+        let c = cfg();
+        assert!(!SchemeSetup::dimm_chip(&c).controller.pre_write_read);
+        assert!(!SchemeSetup::gcp(&c, CellMapping::Bim, 0.7).controller.pre_write_read);
+        assert!(SchemeSetup::gcp_ipm(&c).controller.pre_write_read);
+        assert!(SchemeSetup::fpb(&c).controller.pre_write_read);
+    }
+
+    #[test]
+    fn gcp_efficiency_propagates() {
+        let c = cfg();
+        let s = SchemeSetup::gcp(&c, CellMapping::Vim, 0.5);
+        assert_eq!(s.policy.gcp.unwrap().e_gcp, 0.5);
+        assert_eq!(s.mapping, CellMapping::Vim);
+    }
+
+    #[test]
+    fn pwl_enables_wear_leveling_only() {
+        let c = cfg();
+        let s = SchemeSetup::pwl(&c);
+        assert_eq!(s.wear.period, Some(8));
+        assert!(s.policy.enforce_chip_budget);
+        assert!(!s.policy.ipm);
+    }
+
+    #[test]
+    fn preset_and_regulation_toggles() {
+        let c = cfg();
+        let s = SchemeSetup::fpb(&c).with_preset();
+        assert!(s.termination.preset);
+        assert!(s.label.ends_with("+PreSET"));
+        let s = SchemeSetup::fpb(&c).with_gcp_regulation().unwrap();
+        assert!(s.policy.gcp.unwrap().per_chip_regulation);
+        assert!(s.label.ends_with("+reg"));
+    }
+
+    #[test]
+    fn regulation_without_gcp_is_an_error() {
+        let c = cfg();
+        let err = SchemeSetup::dimm_chip(&c).with_gcp_regulation().unwrap_err();
+        assert_eq!(err, SchemeError::MissingGcp("per-chip regulation"));
+        assert!(err.to_string().contains("needs a GCP"));
+    }
+
+    #[test]
+    fn all_setups_validate() {
+        let c = cfg();
+        for s in [
+            SchemeSetup::ideal(&c),
+            SchemeSetup::dimm_only(&c),
+            SchemeSetup::dimm_chip(&c),
+            SchemeSetup::pwl(&c),
+            SchemeSetup::scaled_local(&c, 1.5),
+            SchemeSetup::gcp(&c, CellMapping::Bim, 0.7),
+            SchemeSetup::gcp_ipm(&c),
+            SchemeSetup::fpb(&c),
+            SchemeSetup::fpb(&c).with_wc().with_wp().with_wt(8),
+        ] {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+        }
+    }
+
+    #[test]
+    fn hooks_mirror_components() {
+        let c = cfg();
+        let plain = SchemeSetup::dimm_chip(&c);
+        assert_eq!(
+            plain.on_admit(AdmitCtx {
+                pre_read_done: false
+            }),
+            AdmitAction::Program
+        );
+        assert_eq!(
+            plain.on_read_arrival(ReadArrivalCtx { progress: 0.0 }),
+            ReadArrivalAction::Proceed
+        );
+
+        let fpb = SchemeSetup::fpb(&c).with_wc();
+        assert_eq!(
+            fpb.on_admit(AdmitCtx {
+                pre_read_done: false
+            }),
+            AdmitAction::PreRead
+        );
+        assert_eq!(
+            fpb.on_admit(AdmitCtx {
+                pre_read_done: true
+            }),
+            AdmitAction::Program
+        );
+        assert_eq!(
+            fpb.on_read_arrival(ReadArrivalCtx { progress: 0.25 }),
+            ReadArrivalAction::CancelAtBoundary
+        );
+        assert_eq!(
+            fpb.on_read_arrival(ReadArrivalCtx { progress: 0.75 }),
+            ReadArrivalAction::Proceed
+        );
+
+        let wc = SchemeSetup::dimm_chip(&c).with_worst_case_mc();
+        let ctx = ReleaseCtx {
+            now: fpb_types::Cycles::ZERO,
+            round_started_at: fpb_types::Cycles::ZERO,
+        };
+        assert_eq!(wc.on_release(ctx), ReleaseAction::HoldWorstCase);
+        assert_eq!(plain.on_release(ctx), ReleaseAction::Free);
+    }
+
+    #[test]
+    fn preset_iteration_model_is_single_pulse() {
+        let c = cfg();
+        let base = c.pcm.write_model.clone();
+        let plain = SchemeSetup::fpb(&c).iteration_model(&base);
+        assert_eq!(plain, base);
+        let preset = SchemeSetup::fpb(&c).with_preset().iteration_model(&base);
+        assert_eq!(preset.l00, MlcLevelModel::Fixed(1));
+        assert_eq!(preset.l11, MlcLevelModel::Fixed(1));
+    }
+}

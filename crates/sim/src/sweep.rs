@@ -10,7 +10,7 @@ use fpb_types::SystemConfig;
 use crate::engine::{run_workload_warmed, warm_cores, SimOptions};
 use crate::exec::parallel_map_indexed;
 use crate::metrics::Metrics;
-use crate::setup::SchemeSetup;
+use crate::scheme::{SchemeRegistry, SchemeSetup, SchemeSpec};
 use fpb_trace::Workload;
 
 /// One labeled variant of an axis: a point label and the configuration
@@ -120,19 +120,21 @@ impl SweepPoint {
     }
 }
 
-/// Runs the cartesian product of `axes` over `workload`, measuring
-/// `scheme` against `baseline` (both rebuilt per configuration so
-/// budget-derived fields track the swept config).
+/// Runs the cartesian product of `axes` over `workload`, measuring the
+/// scheme named by `scheme` against the one named by `baseline` (both
+/// registry spec strings, rebuilt per configuration so budget-derived
+/// fields track the swept config).
 ///
 /// # Panics
 ///
-/// Panics if `axes` is empty or any produced configuration is invalid.
+/// Panics if `axes` is empty, either spec does not resolve in the
+/// [`SchemeRegistry`], or any produced configuration is invalid.
 ///
 /// # Examples
 ///
 /// ```
 /// use fpb_sim::sweep::{run_sweep, Axis};
-/// use fpb_sim::{SchemeSetup, SimOptions};
+/// use fpb_sim::SimOptions;
 /// use fpb_trace::catalog;
 /// use fpb_types::SystemConfig;
 ///
@@ -141,8 +143,8 @@ impl SweepPoint {
 ///     &wl,
 ///     SystemConfig::default(),
 ///     &[Axis::pt_dimm(&[466, 560])],
-///     SchemeSetup::fpb,
-///     SchemeSetup::dimm_chip,
+///     "fpb",
+///     "dimm-chip",
 ///     &SimOptions::with_instructions(20_000),
 /// );
 /// assert_eq!(points.len(), 2);
@@ -152,8 +154,8 @@ pub fn run_sweep(
     workload: &Workload,
     base_cfg: SystemConfig,
     axes: &[Axis],
-    scheme: fn(&SystemConfig) -> SchemeSetup,
-    baseline: fn(&SystemConfig) -> SchemeSetup,
+    scheme: &str,
+    baseline: &str,
     opts: &SimOptions,
 ) -> Vec<SweepPoint> {
     run_sweep_jobs(workload, base_cfg, axes, scheme, baseline, opts, 1)
@@ -169,18 +171,30 @@ pub fn run_sweep(
 ///
 /// # Panics
 ///
-/// Panics if `axes` is empty or any produced configuration is invalid
-/// (the validation happens up front, before any worker starts).
+/// Panics if `axes` is empty, either scheme spec does not resolve, or any
+/// produced configuration is invalid (the validation happens up front,
+/// before any worker starts).
 pub fn run_sweep_jobs(
     workload: &Workload,
     base_cfg: SystemConfig,
     axes: &[Axis],
-    scheme: fn(&SystemConfig) -> SchemeSetup,
-    baseline: fn(&SystemConfig) -> SchemeSetup,
+    scheme: &str,
+    baseline: &str,
     opts: &SimOptions,
     jobs: usize,
 ) -> Vec<SweepPoint> {
     assert!(!axes.is_empty(), "sweep needs at least one axis");
+    // Resolve both specs once, up front: a typo fails before any
+    // simulation work starts, and workers then rebuild per config from
+    // the parsed form.
+    let registry = SchemeRegistry::standard();
+    let scheme_spec = parse_spec(scheme);
+    let baseline_spec = parse_spec(baseline);
+    // Semantic errors (e.g. `+reg` on a GCP-less base) are config-
+    // independent, so one build against the base config proves every
+    // per-point build in the workers will succeed.
+    build_spec(registry, &scheme_spec, &base_cfg);
+    build_spec(registry, &baseline_spec, &base_cfg);
     // Enumerate the grid up front in odometer order; workers then claim
     // points off this list, and results keep the enumeration order.
     let mut grid: Vec<(String, SystemConfig)> = Vec::new();
@@ -211,14 +225,37 @@ pub fn run_sweep_jobs(
     }
     parallel_map_indexed(&grid, jobs, |_, (label, cfg)| {
         let cores = warm_cores(workload, cfg, opts);
-        let base = run_workload_warmed(workload, cfg, &baseline(cfg), opts, &cores);
-        let m = run_workload_warmed(workload, cfg, &scheme(cfg), opts, &cores);
+        let baseline = build_spec(registry, &baseline_spec, cfg);
+        let scheme = build_spec(registry, &scheme_spec, cfg);
+        let base = run_workload_warmed(workload, cfg, &baseline, opts, &cores);
+        let m = run_workload_warmed(workload, cfg, &scheme, opts, &cores);
         SweepPoint {
-            label: format!("{} [{}]", label, scheme(cfg).label),
+            label: format!("{} [{}]", label, scheme.label),
             metrics: m,
             baseline: base,
         }
     })
+}
+
+/// Parses a sweep scheme spec, upholding the sweep API's documented
+/// `# Panics` contract: a malformed spec is a call-site bug and must
+/// fail loudly before any simulation work starts.
+fn parse_spec(s: &str) -> SchemeSpec {
+    match s.parse() {
+        Ok(spec) => spec,
+        // fpb-lint: allow(panic_freedom) — documented `# Panics` contract.
+        Err(e) => panic!("sweep scheme spec `{s}`: {e}"),
+    }
+}
+
+/// Builds a parsed spec against one config, with the same documented
+/// panic contract as [`parse_spec`].
+fn build_spec(registry: &SchemeRegistry, spec: &SchemeSpec, cfg: &SystemConfig) -> SchemeSetup {
+    match registry.build_spec(spec, cfg) {
+        Ok(setup) => setup,
+        // fpb-lint: allow(panic_freedom) — documented `# Panics` contract.
+        Err(e) => panic!("sweep scheme spec `{}`: {e}", spec.render()),
+    }
 }
 
 #[cfg(test)]
@@ -241,8 +278,8 @@ mod tests {
                 Axis::pt_dimm(&[466, 560]),
                 Axis::e_gcp(&[0.7, 0.5]),
             ],
-            SchemeSetup::fpb,
-            SchemeSetup::dimm_chip,
+            "fpb",
+            "dimm-chip",
             &opts(),
         );
         assert_eq!(points.len(), 4);
@@ -261,8 +298,8 @@ mod tests {
             &wl,
             SystemConfig::default(),
             &[Axis::line_bytes(&[64, 256])],
-            SchemeSetup::ideal,
-            SchemeSetup::ideal,
+            "ideal",
+            "ideal",
             &opts(),
         );
         assert_eq!(points.len(), 2);
@@ -279,8 +316,8 @@ mod tests {
             &wl,
             SystemConfig::default(),
             &[Axis::llc_mib(&[4, 32])],
-            SchemeSetup::dimm_chip,
-            SchemeSetup::dimm_chip,
+            "dimm-chip",
+            "dimm-chip",
             &opts(),
         );
         // A tiny LLC must produce more PCM reads than the baseline 32 M.
@@ -300,8 +337,8 @@ mod tests {
             &wl,
             SystemConfig::default(),
             &[],
-            SchemeSetup::fpb,
-            SchemeSetup::dimm_chip,
+            "fpb",
+            "dimm-chip",
             &opts(),
         );
     }

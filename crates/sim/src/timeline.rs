@@ -188,7 +188,7 @@ impl Timeline {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use crate::setup::SchemeSetup;
+    use crate::scheme::SchemeSetup;
     use crate::SimOptions;
     use fpb_trace::catalog;
     use fpb_types::SystemConfig;

@@ -7,7 +7,7 @@
 //! both the scheme and baseline runs.
 
 use fpb_sim::sweep::{run_sweep_jobs, Axis, SweepPoint};
-use fpb_sim::{SchemeSetup, SimOptions};
+use fpb_sim::SimOptions;
 use fpb_trace::catalog;
 use fpb_types::{FaultConfig, SystemConfig};
 
@@ -25,8 +25,8 @@ fn sweep(cfg: &SystemConfig, jobs: usize) -> Vec<SweepPoint> {
         &wl,
         cfg.clone(),
         &grid_axes(),
-        SchemeSetup::fpb,
-        SchemeSetup::dimm_chip,
+        "fpb",
+        "dimm-chip",
         &opts,
         jobs,
     )

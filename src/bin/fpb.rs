@@ -64,6 +64,10 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Run(ra) => {
+            if ra.scheme == "help" {
+                print!("{}", fpb::sim::SchemeRegistry::standard().help());
+                return Ok(());
+            }
             let (wl, opts) = resolve(&ra)?;
             let setup = cli::build_scheme(&ra.scheme, &ra).map_err(|e| e.to_string())?;
             let cores = warm_cores(&wl, &ra.cfg, &opts);
@@ -80,12 +84,16 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 .iter()
                 .map(|(n, vs)| cli::build_axis(n, vs))
                 .collect();
+            // Fold the run flags into the spec and validate it up front
+            // (run_sweep_jobs panics on a bad spec; the CLI reports it as
+            // a plain error instead).
+            let spec = cli::scheme_spec(&args.scheme, &args).map_err(|e| e.to_string())?;
             let points = fpb::sim::sweep::run_sweep_jobs(
                 &wl,
                 args.cfg.clone(),
                 &built.map_err(|e| e.to_string())?,
-                fpb::sim::SchemeSetup::fpb,
-                fpb::sim::SchemeSetup::dimm_chip,
+                &spec,
+                "dimm-chip",
                 &opts,
                 cli::effective_jobs(args.jobs),
             );
@@ -117,9 +125,13 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             let (wl, opts) = resolve(&ra)?;
             let cores = warm_cores(&wl, &ra.cfg, &opts);
             // Scheme runs share the warmed cores and are independent, so
-            // they fan across workers; the first listed scheme is the
-            // speedup baseline either way.
-            let setups: Vec<_> = ["dimm-chip", "dimm-only", "pwl", "gcp", "gcp-ipm", "fpb", "ideal"]
+            // they fan across workers. Every registered family runs, with
+            // the paper's baseline (DIMM+chip) moved first — the first
+            // scheme is the speedup baseline.
+            let names = cli::scheme_names();
+            let mut order: Vec<&str> = vec!["dimm-chip"];
+            order.extend(names.iter().copied().filter(|n| *n != "dimm-chip"));
+            let setups: Vec<_> = order
                 .iter()
                 .map(|name| cli::build_scheme(name, &ra))
                 .collect::<Result<_, _>>()

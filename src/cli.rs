@@ -15,6 +15,7 @@
 use std::fmt;
 
 use fpb_pcm::CellMapping;
+use fpb_sim::scheme::{Modifier, SchemeBase, SchemeRegistry, SchemeSpec};
 use fpb_sim::{SchemeSetup, SimOptions};
 use fpb_types::SystemConfig;
 
@@ -156,58 +157,66 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// The scheme names `--scheme` accepts.
-pub fn scheme_names() -> &'static [&'static str] {
-    &[
-        "ideal",
-        "dimm-only",
-        "dimm-chip",
-        "pwl",
-        "1.5xlocal",
-        "2xlocal",
-        "gcp",
-        "gcp-ipm",
-        "fpb",
-    ]
+/// The canonical scheme names `--scheme` accepts, straight from the
+/// [`SchemeRegistry`] (any registry spec string also works, e.g.
+/// `fpb+wc+wt8` or `gcp:vim:0.5`).
+pub fn scheme_names() -> Vec<&'static str> {
+    SchemeRegistry::standard().names()
 }
 
-/// Builds the scheme setup named by `name` (plus the run's modifiers).
+/// Builds the scheme named by the registry spec `name`, folding the
+/// run's modifier flags (`--mapping`, `--wc`, `--wp`, `--wt`) into the
+/// spec before the registry resolves it.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] for an unknown scheme name.
+/// Returns [`CliError`] for an unknown or malformed spec, or a modifier
+/// that does not apply (e.g. `+reg` without a GCP).
 pub fn build_scheme(name: &str, args: &RunArgs) -> Result<SchemeSetup, CliError> {
-    let cfg = &args.cfg;
-    let mut setup = match name {
-        "ideal" => SchemeSetup::ideal(cfg),
-        "dimm-only" => SchemeSetup::dimm_only(cfg),
-        "dimm-chip" => SchemeSetup::dimm_chip(cfg),
-        "pwl" => SchemeSetup::pwl(cfg),
-        "1.5xlocal" => SchemeSetup::scaled_local(cfg, 1.5),
-        "2xlocal" => SchemeSetup::scaled_local(cfg, 2.0),
-        "gcp" => SchemeSetup::gcp(cfg, args.mapping.unwrap_or(CellMapping::Bim), cfg.power.e_gcp),
-        "gcp-ipm" => SchemeSetup::gcp_ipm(cfg),
-        "fpb" => SchemeSetup::fpb(cfg),
-        other => {
-            return Err(CliError(format!(
-                "unknown scheme `{other}` (expected one of {})",
-                scheme_names().join(", ")
-            )))
-        }
-    };
+    let spec = folded_spec(name, args)?;
+    SchemeRegistry::standard()
+        .build_spec(&spec, &args.cfg)
+        .map_err(|e| CliError(format!("{e}")))
+}
+
+/// Renders the registry spec for `name` with the run's modifier flags
+/// folded in — the canonical string handed to drivers that resolve
+/// specs themselves (the sweep driver). Building it here also validates
+/// the composition before any simulation work starts.
+///
+/// # Errors
+///
+/// See [`build_scheme`].
+pub fn scheme_spec(name: &str, args: &RunArgs) -> Result<String, CliError> {
+    let spec = folded_spec(name, args)?;
+    SchemeRegistry::standard()
+        .build_spec(&spec, &args.cfg)
+        .map_err(|e| CliError(format!("{e}")))?;
+    Ok(spec.render())
+}
+
+/// Parses `name` and folds the `--mapping`/`--wc`/`--wp`/`--wt` flags
+/// into the spec.
+fn folded_spec(name: &str, args: &RunArgs) -> Result<SchemeSpec, CliError> {
+    let mut spec: SchemeSpec = name.parse().map_err(|e| CliError(format!("{e}")))?;
     if let Some(m) = args.mapping {
-        setup = setup.with_mapping(m);
+        // A GCP base takes its mapping as an argument (it shapes the
+        // label); for every other base the flag is a plain override.
+        match &mut spec.base {
+            SchemeBase::Gcp { mapping, .. } if mapping.is_none() => *mapping = Some(m),
+            _ => spec.mods.push(Modifier::Mapping(m)),
+        }
     }
     if args.wc {
-        setup = setup.with_wc();
+        spec.mods.push(Modifier::Wc);
     }
     if args.wp {
-        setup = setup.with_wp();
+        spec.mods.push(Modifier::Wp);
     }
     if let Some(ecc) = args.wt {
-        setup = setup.with_wt(ecc);
+        spec.mods.push(Modifier::Wt(ecc));
     }
-    Ok(setup)
+    Ok(spec)
 }
 
 /// Parses a full argument vector (excluding `argv[0]`).
@@ -503,7 +512,7 @@ pub const USAGE: &str = "\
 fpb — fine-grained power budgeting for MLC PCM (MICRO 2012 reproduction)
 
 USAGE:
-  fpb run     --workload <name> --scheme <name> [options]
+  fpb run     --workload <name> --scheme <spec> [options]
   fpb compare --workload <name> [options]
   fpb sweep   --workload <name> --axis <name=v1,v2,..> [--axis ..] [--csv out.csv] [options]
   fpb bench   [--jobs <n>] [--instructions <n>] [--out BENCH_sweep.json]
@@ -513,7 +522,12 @@ USAGE:
   fpb lint    [--format text|json] [--out <file>] [--update-baseline] [--rules]
               [--root <dir>] [--baseline lint-baseline.toml]
 
-SWEEP AXES: line-bytes, llc-mib, pt-dimm, e-gcp (FPB vs DIMM+chip per point)
+SCHEMES: --scheme takes a registry spec: BASE[:ARG...][+MOD...], e.g.
+  fpb, dimm-chip, gcp:vim:0.5, fpb+wc+wp+wt8, 2xlocal. Run
+  `fpb run --scheme help` for the full grammar and scheme list.
+
+SWEEP AXES: line-bytes, llc-mib, pt-dimm, e-gcp (--scheme vs DIMM+chip
+  per point)
 
 PARALLELISM:
   --jobs <n>           worker threads for sweep points / compare schemes
@@ -834,8 +848,34 @@ mod tests {
             ..RunArgs::default()
         };
         let s = build_scheme("fpb", &ra).unwrap();
-        assert!(s.write_cancellation && s.write_pausing);
-        assert_eq!(s.truncation_ecc, Some(8));
+        assert!(s.boosts.cancellation && s.boosts.pausing);
+        assert_eq!(s.termination.truncation_ecc, Some(8));
+        assert_eq!(s.mapping, CellMapping::Naive);
+    }
+
+    #[test]
+    fn spec_strings_pass_through_to_the_registry() {
+        let ra = RunArgs::default();
+        let s = build_scheme("fpb+wc+wt8", &ra).unwrap();
+        assert_eq!(s.label, "FPB+WC+WT");
+        let s = build_scheme("gcp:vim:0.5", &ra).unwrap();
+        assert_eq!(s.mapping, CellMapping::Vim);
+        assert!(build_scheme("dimm-chip+reg", &ra).is_err(), "+reg needs a GCP");
+    }
+
+    #[test]
+    fn mapping_flag_shapes_the_gcp_label() {
+        // `--scheme gcp --mapping ne` must behave like `gcp:ne` (the
+        // mapping folds into the base argument and shows in the label).
+        let ra = RunArgs {
+            mapping: Some(CellMapping::Naive),
+            ..RunArgs::default()
+        };
+        let s = build_scheme("gcp", &ra).unwrap();
+        assert_eq!(s.mapping, CellMapping::Naive);
+        assert!(s.label.contains("NE"), "label `{}`", s.label);
+        // An explicit base argument wins; the flag becomes an override.
+        let s = build_scheme("gcp:vim", &ra).unwrap();
         assert_eq!(s.mapping, CellMapping::Naive);
     }
 

@@ -1,0 +1,46 @@
+//! Refactor safety net: the staged, scheme-plugin engine must be
+//! **byte-for-byte** invisible in the results.
+//!
+//! For two pinned workloads and two registry schemes (the full FPB
+//! extension stack and the paper's baseline), a run on the optimized
+//! path (event heap, pooled buffers, sampled words) and a twin run on
+//! the reference path (linear scan, fresh allocation per write) must
+//! serialize to identical [`Metrics::to_json`] strings. CI's
+//! `scheme-matrix` job fails on any byte difference.
+//!
+//! [`Metrics::to_json`]: fpb::sim::Metrics::to_json
+
+use fpb::sim::{run_workload, SchemeRegistry, SimOptions};
+use fpb::trace::catalog;
+use fpb::types::SystemConfig;
+
+const INSTRUCTIONS: u64 = 25_000;
+const WORKLOADS: [&str; 2] = ["mcf_m", "lbm_m"];
+const SCHEMES: [&str; 2] = ["fpb+wc+wp+wt8", "dimm-chip"];
+
+#[test]
+fn optimized_and_reference_paths_serialize_identically() {
+    let cfg = SystemConfig::default();
+    let registry = SchemeRegistry::standard();
+    for wl_name in WORKLOADS {
+        let wl = catalog::workload(wl_name).expect("pinned workload in catalog");
+        for spec in SCHEMES {
+            let setup = registry
+                .build(spec, &cfg)
+                .unwrap_or_else(|e| panic!("scheme spec `{spec}`: {e}"));
+            let opts = SimOptions::with_instructions(INSTRUCTIONS);
+            let optimized = run_workload(&wl, &cfg, &setup, &opts).to_json();
+            // Only the stepper and allocator references are bit-identical
+            // twins; the reference sampler is distributional, so it stays
+            // off on both sides.
+            let mut ref_opts = opts;
+            ref_opts.reference_stepper = true;
+            ref_opts.reference_alloc = true;
+            let reference = run_workload(&wl, &cfg, &setup, &ref_opts).to_json();
+            assert_eq!(
+                optimized, reference,
+                "metrics JSON diverged for workload `{wl_name}`, scheme `{spec}`"
+            );
+        }
+    }
+}
