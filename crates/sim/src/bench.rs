@@ -17,6 +17,7 @@ use fpb_trace::catalog;
 use fpb_types::SystemConfig;
 
 use crate::engine::SimOptions;
+use crate::metrics::json_string;
 use crate::scheme::SchemeSetup;
 use crate::sweep::{run_sweep_jobs, Axis, SweepPoint};
 
@@ -34,6 +35,20 @@ fn fixed_axes() -> Vec<Axis> {
         Axis::pt_dimm(&[466, 512, 560]),
         Axis::e_gcp(&[0.5, 0.7, 0.9]),
     ]
+}
+
+/// One rung of the sweep scaling curve: the pinned grid timed at a
+/// specific worker count.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker threads of this rung.
+    pub jobs: usize,
+    /// Wall-clock of the full grid at this worker count, milliseconds.
+    pub ms: f64,
+    /// `serial_ms / ms` — parallel efficiency relative to the 1-job rung.
+    pub speedup: f64,
+    /// Sweep throughput at this worker count, points per second.
+    pub points_per_sec: f64,
 }
 
 /// Per-point metric record kept in the report (everything here is a
@@ -78,9 +93,13 @@ pub struct BenchReport {
     /// Single-threaded engine throughput: simulated cycles per wall
     /// second during the serial pass.
     pub sim_cycles_per_sec: f64,
-    /// True iff the parallel pass reproduced the serial pass bit-for-bit
-    /// (labels, ordering, and full `Metrics` of both runs per point).
+    /// True iff *every* scaling rung reproduced the serial pass
+    /// bit-for-bit (labels, ordering, and full `Metrics` of both runs
+    /// per point).
     pub identical: bool,
+    /// The scaling curve: the pinned grid timed at each worker count of
+    /// the ladder (1/2/4 plus the requested count when different).
+    pub scaling: Vec<ScalingPoint>,
     /// Deterministic per-point metrics (serial pass).
     pub point_metrics: Vec<BenchPoint>,
 }
@@ -101,9 +120,19 @@ impl BenchReport {
             self.points_per_sec
         ));
         s.push_str(&format!(
-            "    \"sim_cycles_per_sec\": {:.1}\n",
+            "    \"sim_cycles_per_sec\": {:.1},\n",
             self.sim_cycles_per_sec
         ));
+        s.push_str("    \"scaling\": [\n");
+        for (i, r) in self.scaling.iter().enumerate() {
+            let comma = if i + 1 < self.scaling.len() { "," } else { "" };
+            s.push_str(&format!(
+                "      {{\"jobs\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"points_per_sec\": {:.3}}}{comma}\n",
+                r.jobs, r.ms, r.speedup, r.points_per_sec,
+            ));
+        }
+        s.push_str("    ]\n");
         s.push_str("  },\n");
         s.push_str(&self.metric_fields_json(2));
         s.push_str("\n}\n");
@@ -149,27 +178,15 @@ impl BenchReport {
     }
 }
 
-/// Minimal JSON string escaping (labels only contain ASCII, but be safe).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+/// The worker-count ladder every `fpb bench` run climbs; the requested
+/// job count is appended when it is not already a rung.
+const SCALING_LADDER: [usize; 3] = [1, 2, 4];
 
-/// Runs the fixed grid serially and then on `jobs` workers, comparing the
-/// results bit-for-bit. `instructions_per_core` scales run length
-/// ([`BENCH_INSTRUCTIONS`] is the pinned default CI uses).
+/// Runs the fixed grid at every rung of the scaling ladder (1/2/4
+/// workers plus the requested `jobs` when different), comparing each
+/// rung's results bit-for-bit against the serial pass.
+/// `instructions_per_core` scales run length ([`BENCH_INSTRUCTIONS`] is
+/// the pinned default CI uses).
 ///
 /// Returns `None` if the pinned workload is missing from the catalog —
 /// impossible with the checked-in catalog, but the benchmark is not a
@@ -180,15 +197,41 @@ pub fn run_fixed_bench(jobs: usize, instructions_per_core: u64) -> Option<BenchR
     let axes = fixed_axes();
     let opts = SimOptions::with_instructions(instructions_per_core);
 
+    let mut ladder: Vec<usize> = SCALING_LADDER.to_vec();
+    if !ladder.contains(&jobs) {
+        ladder.push(jobs);
+        ladder.sort_unstable();
+    }
+
     let t0 = Instant::now();
     let serial = run_sweep_jobs(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, 1);
     let serial_s = t0.elapsed().as_secs_f64();
 
-    let t1 = Instant::now();
-    let parallel = run_sweep_jobs(&wl, cfg, &axes, "fpb", "dimm-chip", &opts, jobs);
-    let parallel_s = t1.elapsed().as_secs_f64();
+    let mut identical = true;
+    let mut scaling = Vec::with_capacity(ladder.len());
+    let mut requested_s = serial_s;
+    for &rung in &ladder {
+        let rung_s = if rung == 1 {
+            serial_s
+        } else {
+            let t = Instant::now();
+            let result = run_sweep_jobs(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, rung);
+            let elapsed = t.elapsed().as_secs_f64();
+            identical &= points_identical(&serial, &result);
+            elapsed
+        };
+        if rung == jobs {
+            requested_s = rung_s;
+        }
+        scaling.push(ScalingPoint {
+            jobs: rung,
+            ms: rung_s * 1e3,
+            speedup: serial_s / rung_s.max(1e-9),
+            points_per_sec: serial.len() as f64 / rung_s.max(1e-9),
+        });
+    }
+    let parallel_s = requested_s;
 
-    let identical = points_identical(&serial, &parallel);
     let sim_cycles_total: u64 = serial
         .iter()
         .map(|p| p.metrics.cycles + p.baseline.cycles)
@@ -215,6 +258,7 @@ pub fn run_fixed_bench(jobs: usize, instructions_per_core: u64) -> Option<BenchR
         sim_cycles_total,
         sim_cycles_per_sec: sim_cycles_total as f64 / serial_s.max(1e-9),
         identical,
+        scaling,
         point_metrics,
     })
 }
@@ -551,10 +595,26 @@ mod tests {
     fn fixed_bench_runs_and_matches() {
         let r = run_fixed_bench(2, 4_000).unwrap();
         assert_eq!(r.points, 9);
-        assert!(r.identical, "parallel metrics diverged from serial");
+        assert!(r.identical, "a scaling rung diverged from serial");
         assert_eq!(r.point_metrics.len(), 9);
         assert!(r.sim_cycles_total > 0);
         assert!(r.point_metrics.iter().all(|p| p.cycles > 0));
+        // The ladder covers 1/2/4 exactly (2 is already a rung).
+        let rungs: Vec<usize> = r.scaling.iter().map(|p| p.jobs).collect();
+        assert_eq!(rungs, vec![1, 2, 4]);
+        assert!((r.scaling[0].speedup - 1.0).abs() < 1e-9, "serial rung is the reference");
+        assert!(r.scaling.iter().all(|p| p.ms > 0.0 && p.points_per_sec > 0.0));
+    }
+
+    #[test]
+    fn requested_jobs_joins_the_ladder() {
+        let r = run_fixed_bench(3, 3_000).unwrap();
+        let rungs: Vec<usize> = r.scaling.iter().map(|p| p.jobs).collect();
+        assert_eq!(rungs, vec![1, 2, 3, 4]);
+        // The top-level wall numbers describe the requested rung.
+        let rung = r.scaling.iter().find(|p| p.jobs == 3).unwrap();
+        assert!((rung.ms - r.parallel_ms).abs() < 1e-9);
+        assert!((rung.speedup - r.speedup).abs() < 1e-9);
     }
 
     #[test]
@@ -564,6 +624,9 @@ mod tests {
         assert!(j.contains("\"schema\": \"fpb-bench-sweep/v1\""));
         assert!(j.contains("\"wall\""));
         assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"scaling\": ["));
+        assert!(j.contains("{\"jobs\": 1, \"ms\": "));
+        assert!(j.contains("{\"jobs\": 4, \"ms\": "));
         assert!(j.contains("\"point_metrics\""));
         assert!(j.contains("\"identical\": true"));
         // The metric subset must not mention wall-clock fields.
@@ -571,6 +634,7 @@ mod tests {
         assert!(!m.contains("_ms"));
         assert!(!m.contains("per_sec"));
         assert!(!m.contains("jobs"));
+        assert!(!m.contains("scaling"));
     }
 
     #[test]

@@ -5,8 +5,18 @@
 //! that results come back *in input order* regardless of which worker
 //! finished first. This module provides exactly that on scoped threads —
 //! no dependencies, no channels, no unsafe.
+//!
+//! Panic handling: every worker item runs under `catch_unwind`, so a
+//! panic is captured with the slot index and payload message attached
+//! ([`WorkerPanic`]) instead of tearing the whole pool down anonymously.
+//! [`try_parallel_map_indexed`] surfaces that as an error;
+//! [`parallel_map_indexed`] keeps the original panicking contract but
+//! the re-raised panic now names the offending slot. Full supervision —
+//! retry, quarantine, deadlines — lives in [`crate::supervise`].
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -18,8 +28,50 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// A worker item panicked: carries *which* input index failed and the
+/// panic payload rendered as text, so a 400-point sweep failure reads
+/// "slot 217 panicked: swept config invalid …" rather than an anonymous
+/// unwind out of a scoped join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the input item whose closure call panicked.
+    pub slot: usize,
+    /// The panic payload (`&str` / `String` payloads verbatim, anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked at slot {}: {}", self.slot, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a panic payload as text: `&str` and `String` payloads (what
+/// `panic!`/`assert!` produce) come through verbatim, anything else as a
+/// placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Unwraps a result slot, riding through lock poisoning: slots hold
+/// plain `Option`s whose every state is valid to observe, and the
+/// workers that could have poisoned them have already exited.
+fn into_slot_value<R>(slot: Mutex<Option<R>>) -> Option<R> {
+    slot.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Maps `f` over `items` on up to `jobs` worker threads, returning the
-/// results in input order.
+/// results in input order, or the first (lowest-index) panic as a
+/// [`WorkerPanic`].
 ///
 /// Work distribution is a shared atomic cursor: each worker claims the
 /// next unclaimed index when it finishes its current item, so long items
@@ -27,22 +79,39 @@ pub fn default_jobs() -> usize {
 /// without the deques). With `jobs <= 1` — or a single item — everything
 /// runs inline on the caller's thread, byte-for-byte the serial path.
 ///
-/// # Panics
+/// On a panic the remaining workers finish their in-flight items and
+/// drain the cursor, then the lowest-index failure is reported (workers
+/// race, so which items *ran* after the panic is nondeterministic, but
+/// the reported slot is not: simulation closures are deterministic, and
+/// the lowest failing index is a pure function of the input).
 ///
-/// A panic inside `f` is propagated to the caller once all workers have
-/// stopped (scoped threads join on scope exit).
-pub fn parallel_map_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+/// `f` must be retry-agnostic about unwinds: a panicking call's partial
+/// state is discarded wholesale (the pool asserts unwind safety on that
+/// basis — nothing outside the call observes it).
+pub fn try_parallel_map_indexed<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let run =
+        |i: usize, t: &T| -> Result<R, WorkerPanic> {
+            catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|payload| WorkerPanic {
+                slot: i,
+                message: panic_message(payload.as_ref()),
+            })
+        };
     if jobs <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
     }
     let workers = jobs.min(items.len());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, WorkerPanic>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -50,19 +119,51 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                let r = run(i, &items[i]);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(r);
+                }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited without storing a result")
-        })
-        .collect()
+    let mut out = Vec::with_capacity(items.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match into_slot_value(slot) {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            // Unreachable today (workers always store before moving on);
+            // reported as a panic rather than silently dropping a slot.
+            None => {
+                return Err(WorkerPanic {
+                    slot: i,
+                    message: "worker exited without storing a result".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// [`try_parallel_map_indexed`] with the original panicking contract:
+/// the first worker panic is re-raised on the caller's thread, its
+/// message enriched with the slot index.
+///
+/// # Panics
+///
+/// A panic inside `f` is propagated to the caller once all workers have
+/// stopped, as `worker panicked at slot N: <payload>`.
+pub fn parallel_map_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_parallel_map_indexed(items, jobs, f) {
+        Ok(out) => out,
+        // Documented contract of this wrapper: re-raise with context.
+        // fpb-lint: allow(panic_freedom)
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +213,7 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates() {
+    fn worker_panic_propagates_with_slot_and_message() {
         let items: Vec<u32> = (0..16).collect();
         let r = std::panic::catch_unwind(|| {
             parallel_map_indexed(&items, 4, |_, &x| {
@@ -120,6 +221,39 @@ mod tests {
                 x
             })
         });
-        assert!(r.is_err());
+        let payload = r.expect_err("panic must propagate");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("slot 7"), "slot index missing: {msg}");
+        assert!(msg.contains("boom"), "payload message missing: {msg}");
+    }
+
+    #[test]
+    fn try_map_reports_lowest_failing_slot() {
+        let items: Vec<u32> = (0..32).collect();
+        for jobs in [1, 4] {
+            let err = try_parallel_map_indexed(&items, jobs, |_, &x| {
+                if x % 10 == 3 {
+                    panic!("bad point {x}");
+                }
+                x
+            })
+            .expect_err("must fail");
+            assert_eq!(err.slot, 3, "jobs={jobs}");
+            assert_eq!(err.message, "bad point 3");
+            assert_eq!(err.to_string(), "worker panicked at slot 3: bad point 3");
+        }
+    }
+
+    #[test]
+    fn try_map_ok_path_matches_plain_map() {
+        let items: Vec<u64> = (0..50).collect();
+        let ok = try_parallel_map_indexed(&items, 5, |_, &x| x * 2).unwrap();
+        assert_eq!(ok, parallel_map_indexed(&items, 5, |_, &x| x * 2));
+    }
+
+    #[test]
+    fn non_string_payloads_are_placeholdered() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
     }
 }

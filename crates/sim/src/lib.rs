@@ -17,6 +17,10 @@
 //! * [`engine`] — the event loop, split into lifecycle stage modules.
 //! * [`metrics`] — CPI, write throughput, burst residency, power stats.
 //! * [`exec`] — the worker pool fanning independent runs across threads.
+//! * [`supervise`] — the fault-tolerant layer over [`exec`]: panic
+//!   isolation, bounded retry, deadlines, quarantine, cancellation.
+//! * [`journal`] — the durable fsync'd checkpoint log behind
+//!   `fpb sweep --journal/--resume`.
 //! * [`bench`] — the fixed self-measuring benchmark behind `fpb bench`.
 //!
 //! # Examples
@@ -43,17 +47,21 @@ pub mod bench;
 pub mod engine;
 pub mod exec;
 pub mod frontend;
+pub mod journal;
 pub mod metrics;
 pub mod report;
 pub mod request;
 pub mod scheme;
+pub mod supervise;
 pub mod sweep;
 pub mod timeline;
 
 pub use bench::{run_fixed_bench, run_hotpath_bench, BenchReport, HotpathReport};
 pub use engine::{run_workload, try_run_workload, SimOptions, System};
-pub use exec::{default_jobs, parallel_map_indexed};
+pub use exec::{default_jobs, parallel_map_indexed, try_parallel_map_indexed, WorkerPanic};
+pub use journal::{JournalError, JournalHeader, JournalWriter};
 pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};
 pub use scheme::{Scheme, SchemeError, SchemeRegistry, SchemeSetup};
+pub use supervise::{CancelToken, JobOutcome, SupervisePolicy, SuperviseReport};
 pub use timeline::{RenderError, Timeline};

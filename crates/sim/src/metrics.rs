@@ -188,17 +188,10 @@ impl Metrics {
         }
     }
 
-    /// Deterministic JSON rendering of the full run result.
-    ///
-    /// Every field is an exact integer (token totals are reported in raw
-    /// millitokens), so two runs that are bit-for-bit identical produce
-    /// byte-identical documents — the property the pooled-vs-fresh write
-    /// path tests compare. Field order is fixed.
-    pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
-        s.push_str("{\n");
-        s.push_str("  \"schema\": \"fpb-metrics/v1\",\n");
-        for (k, v) in [
+    /// The top-level scalar counters, in the fixed JSON field order
+    /// shared by [`Metrics::to_json`] and [`Metrics::to_json_inline`].
+    fn scalar_fields(&self) -> [(&'static str, u64); 15] {
+        [
             ("cycles", self.cycles),
             ("instructions_per_core", self.instructions_per_core),
             ("cores", self.cores as u64),
@@ -214,19 +207,12 @@ impl Metrics {
             ("truncations", self.truncations),
             ("read_latency_sum", self.read_latency_sum),
             ("scrub_reads", self.scrub_reads),
-        ] {
-            s.push_str(&format!("  \"{k}\": {v},\n"));
-        }
-        s.push_str("  \"per_chip_cells\": [");
-        for (i, c) in self.per_chip_cells.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            s.push_str(&c.to_string());
-        }
-        s.push_str("],\n");
-        s.push_str("  \"power\": {");
-        for (i, (k, v)) in [
+        ]
+    }
+
+    /// The `power` object's fields, in fixed order.
+    fn power_fields(&self) -> [(&'static str, u64); 7] {
+        [
             ("admissions", self.power.admissions()),
             ("admission_failures", self.power.admission_failures()),
             ("advance_stalls", self.power.advance_stalls()),
@@ -235,23 +221,11 @@ impl Metrics {
             ("gcp_usable_millitokens", self.power.gcp_usable_total().millis()),
             ("gcp_waste_millitokens", self.power.gcp_waste_total().millis()),
         ]
-        .iter()
-        .enumerate()
-        {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            s.push_str(&format!("\"{k}\": {v}"));
-        }
-        s.push_str("},\n");
-        s.push_str("  \"endurance_cells\": ");
-        match &self.endurance {
-            Some(e) => s.push_str(&e.total_cells_written().to_string()),
-            None => s.push_str("null"),
-        }
-        s.push_str(",\n");
-        s.push_str("  \"faults\": {");
-        for (i, (k, v)) in [
+    }
+
+    /// The `faults` object's fields, in fixed order.
+    fn fault_fields(&self) -> [(&'static str, u64); 11] {
+        [
             ("verify_failures", self.faults.verify_failures),
             ("retries", self.faults.retries),
             ("stuck_lines_marked", self.faults.stuck_lines_marked),
@@ -264,17 +238,105 @@ impl Metrics {
             ("degraded_cycles", self.faults.degraded_cycles),
             ("audit_violations", self.faults.audit_violations),
         ]
-        .iter()
-        .enumerate()
-        {
+    }
+
+    /// Renders the non-scalar sections (`per_chip_cells` array, `power`
+    /// object, `endurance_cells`, `faults` object) into `s`, joined by
+    /// `sep` and prefixed by `pad`.
+    fn push_composite_fields(&self, s: &mut String, sep: &str, pad: &str) {
+        s.push_str(pad);
+        s.push_str("\"per_chip_cells\": [");
+        for (i, c) in self.per_chip_cells.iter().enumerate() {
             if i > 0 {
                 s.push_str(", ");
             }
-            s.push_str(&format!("\"{k}\": {v}"));
+            s.push_str(&c.to_string());
         }
-        s.push_str("}\n}\n");
+        s.push(']');
+        s.push_str(sep);
+        s.push_str(pad);
+        s.push_str("\"power\": {");
+        push_object_fields(s, &self.power_fields());
+        s.push('}');
+        s.push_str(sep);
+        s.push_str(pad);
+        s.push_str("\"endurance_cells\": ");
+        match &self.endurance {
+            Some(e) => s.push_str(&e.total_cells_written().to_string()),
+            None => s.push_str("null"),
+        }
+        s.push_str(sep);
+        s.push_str(pad);
+        s.push_str("\"faults\": {");
+        push_object_fields(s, &self.fault_fields());
+        s.push('}');
+    }
+
+    /// Deterministic JSON rendering of the full run result.
+    ///
+    /// Every field is an exact integer (token totals are reported in raw
+    /// millitokens), so two runs that are bit-for-bit identical produce
+    /// byte-identical documents — the property the pooled-vs-fresh write
+    /// path tests compare. Field order is fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"fpb-metrics/v1\",\n");
+        for (k, v) in self.scalar_fields() {
+            s.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        self.push_composite_fields(&mut s, ",\n", "  ");
+        s.push_str("\n}\n");
         s
     }
+
+    /// [`Metrics::to_json`] on one line: same fields, same order, same
+    /// integer-only values, `", "`-separated with no indentation and no
+    /// `schema` field (the embedding document carries the schema). This
+    /// is the form the sweep journal stores verbatim — byte-identical
+    /// resume rests on this rendering being a pure function of the
+    /// metrics.
+    pub fn to_json_inline(&self) -> String {
+        let mut s = String::with_capacity(768);
+        s.push('{');
+        for (k, v) in self.scalar_fields() {
+            s.push_str(&format!("\"{k}\": {v}, "));
+        }
+        self.push_composite_fields(&mut s, ", ", "");
+        s.push('}');
+        s
+    }
+}
+
+/// Appends `"key": value` pairs joined by `", "`.
+fn push_object_fields(s: &mut String, fields: &[(&str, u64)]) {
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{k}\": {v}"));
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped) — the one escaper every hand-rendered
+/// report in this crate shares.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Geometric mean of a slice of positive values (the paper reports
@@ -374,6 +436,37 @@ mod tests {
         assert!(j.contains("\"endurance_cells\": null"));
         assert!(j.contains("\"gcp_usable_millitokens\": 0"));
         assert!(!j.contains('.'), "integers only, no floats: {j}");
+    }
+
+    #[test]
+    fn inline_json_matches_multiline_fields() {
+        let m = Metrics {
+            cycles: 987,
+            instructions_per_core: 40,
+            pcm_reads: 5,
+            per_chip_cells: vec![4, 4, 5],
+            ..Metrics::default()
+        };
+        let inline = m.to_json_inline();
+        assert!(!inline.contains('\n'), "must be single-line: {inline}");
+        assert!(!inline.contains("schema"), "embedding document owns the schema");
+        // Same fields, same order, same values as the multi-line form.
+        let multiline = m.to_json();
+        let squeezed: String =
+            multiline.lines().filter(|l| !l.contains("schema")).map(str::trim).collect::<Vec<_>>().join(" ");
+        for field in ["\"cycles\": 987", "\"per_chip_cells\": [4, 4, 5]", "\"endurance_cells\": null"] {
+            assert!(inline.contains(field), "missing {field}: {inline}");
+            assert!(squeezed.contains(field), "field drifted from to_json: {field}");
+        }
+        assert_eq!(inline, m.clone().to_json_inline(), "pure function of the metrics");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\n\t\r"), "\"x\\n\\t\\r\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

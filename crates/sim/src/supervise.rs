@@ -1,0 +1,709 @@
+//! Supervised job execution: panic isolation, deadlines, bounded retry,
+//! and quarantine for embarrassingly parallel simulation work.
+//!
+//! [`exec::parallel_map_indexed`](crate::exec::parallel_map_indexed) is
+//! the *optimistic* pool: one panicking point aborts the whole map. This
+//! module is the *pessimistic* wrapper large sweeps need: every job runs
+//! under `catch_unwind`, a panicking job is retried with deterministic
+//! backoff and — if it keeps failing — quarantined so the rest of the
+//! grid still completes, an optional watchdog thread declares jobs hung
+//! after a per-job deadline, and a [`CancelToken`] stops admission
+//! gracefully (in-flight jobs finish; unstarted jobs are skipped).
+//!
+//! Determinism: with deadlines disabled and no cancellation, a supervised
+//! map returns exactly what the plain pool returns, in input order, for
+//! any worker count. Outcomes then depend only on the jobs themselves
+//! (a deterministic panic always yields the same quarantine), never on
+//! timing.
+
+// Deadlines and retry backoff are wall-clock by nature. The clock never
+// feeds simulation results: a job's output is produced by the
+// deterministic engine, and the wall clock only decides whether a job is
+// declared hung — an opt-in knob that is off by default and off in every
+// determinism gate.
+// fpb-lint: allow-file(determinism)
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::exec::panic_message;
+
+/// Cooperative cancellation handle shared between a supervisor and its
+/// caller: cancelling stops *admission* of new jobs; jobs already running
+/// finish normally and are recorded.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_sim::supervise::CancelToken;
+///
+/// let t = CancelToken::new();
+/// assert!(!t.is_cancelled());
+/// t.cancel();
+/// assert!(t.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Retry, deadline, and worker-count policy for a supervised map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisePolicy {
+    /// Worker threads (`<= 1` still isolates panics, on one worker).
+    pub jobs: usize,
+    /// Retry attempts after the first failure (`0` = quarantine on the
+    /// first panic; total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Base of the deterministic exponential backoff between retries.
+    pub backoff_base_ms: u64,
+    /// Cap on a single backoff sleep.
+    pub backoff_cap_ms: u64,
+    /// Per-job wall-clock deadline (covers all attempts including
+    /// backoff). `None` disables the watchdog entirely.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        SupervisePolicy {
+            jobs: 1,
+            max_retries: 0,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl SupervisePolicy {
+    /// Deterministic backoff before retry number `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, capped at [`SupervisePolicy::backoff_cap_ms`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fpb_sim::supervise::SupervisePolicy;
+    ///
+    /// let p = SupervisePolicy { backoff_base_ms: 50, backoff_cap_ms: 300, ..SupervisePolicy::default() };
+    /// assert_eq!(p.backoff(1).as_millis(), 50);
+    /// assert_eq!(p.backoff(2).as_millis(), 100);
+    /// assert_eq!(p.backoff(5).as_millis(), 300); // capped
+    /// ```
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.backoff_cap_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+/// Terminal outcome of one supervised job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Completed on the first attempt.
+    Ok,
+    /// Completed after `attempts` total attempts (`attempts >= 2`).
+    Retried {
+        /// Total attempts including the successful one.
+        attempts: u32,
+    },
+    /// Panicked on every attempt and was quarantined.
+    Panicked {
+        /// Total attempts made.
+        attempts: u32,
+        /// Payload of the final panic.
+        message: String,
+    },
+    /// Exceeded the per-job deadline and was quarantined; its thread may
+    /// still be running (threads cannot be preempted), but its slot is
+    /// resolved and a replacement worker keeps the pool at strength.
+    TimedOut {
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Never started: admission stopped (cancellation) before this job
+    /// was claimed.
+    Skipped,
+}
+
+impl JobOutcome {
+    /// True for outcomes that produced a result.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, JobOutcome::Ok | JobOutcome::Retried { .. })
+    }
+
+    /// True for outcomes parked on the quarantine list (poisoned jobs
+    /// reported at the end of the run instead of aborting it).
+    pub fn quarantined(&self) -> bool {
+        matches!(self, JobOutcome::Panicked { .. } | JobOutcome::TimedOut { .. })
+    }
+
+    /// Stable lowercase class name (used by reports and JSON).
+    pub fn class(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::Retried { .. } => "retried",
+            JobOutcome::Panicked { .. } => "panicked",
+            JobOutcome::TimedOut { .. } => "timed_out",
+            JobOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+impl std::fmt::Display for JobOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobOutcome::Ok => write!(f, "ok"),
+            JobOutcome::Retried { attempts } => write!(f, "ok after {attempts} attempts"),
+            JobOutcome::Panicked { attempts, message } => {
+                write!(f, "panicked on all {attempts} attempt(s): {message}")
+            }
+            JobOutcome::TimedOut { deadline_ms } => {
+                write!(f, "exceeded the {deadline_ms}ms deadline")
+            }
+            JobOutcome::Skipped => write!(f, "skipped (cancelled before it started)"),
+        }
+    }
+}
+
+/// Result of a supervised map: per-input results (in input order) plus
+/// the outcome taxonomy of every slot.
+#[derive(Debug)]
+pub struct SuperviseReport<R> {
+    /// One entry per input, in input order; `None` for quarantined or
+    /// skipped jobs.
+    pub results: Vec<Option<R>>,
+    /// One terminal outcome per input, in input order.
+    pub outcomes: Vec<JobOutcome>,
+    /// True if the run was cancelled before every job was admitted.
+    pub cancelled: bool,
+}
+
+impl<R> SuperviseReport<R> {
+    /// Indices and outcomes of quarantined jobs, in input order.
+    pub fn quarantine(&self) -> Vec<(usize, &JobOutcome)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.quarantined())
+            .collect()
+    }
+
+    /// Number of outcomes in the given class (see [`JobOutcome::class`]).
+    pub fn count(&self, class: &str) -> usize {
+        self.outcomes.iter().filter(|o| o.class() == class).count()
+    }
+}
+
+/// Per-slot supervision state, shared between workers and the watchdog.
+#[derive(Debug)]
+enum Slot {
+    /// Not yet claimed by a worker.
+    Idle,
+    /// Claimed; `started` is the first attempt's start (the deadline
+    /// covers retries and backoff too).
+    Running { started: Instant },
+    /// Terminal: a result, failure, timeout, or skip has been recorded.
+    /// Late results for a resolved slot are discarded.
+    Resolved,
+}
+
+/// One terminal event per slot, sent to the collector.
+#[derive(Debug)]
+enum Event<R> {
+    Done { index: usize, attempts: u32, value: R },
+    Failed { index: usize, attempts: u32, message: String },
+    TimedOut { index: usize },
+    Skipped { index: usize },
+}
+
+/// Locks a slot, riding through poisoning: slot state is a plain enum
+/// and every transition is valid to observe, so a worker that panicked
+/// between `lock` and unlock (impossible today — no panicking calls are
+/// made under the lock) would still leave usable state.
+fn lock_slot(slot: &Mutex<Slot>) -> std::sync::MutexGuard<'_, Slot> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Shared context cloned into every worker thread.
+struct WorkerCtx<T, R, F> {
+    items: Arc<Vec<T>>,
+    f: Arc<F>,
+    slots: Arc<Vec<Mutex<Slot>>>,
+    next: Arc<AtomicUsize>,
+    cancel: CancelToken,
+    policy: SupervisePolicy,
+    tx: Sender<Event<R>>,
+}
+
+impl<T, R, F> Clone for WorkerCtx<T, R, F> {
+    fn clone(&self) -> Self {
+        WorkerCtx {
+            items: Arc::clone(&self.items),
+            f: Arc::clone(&self.f),
+            slots: Arc::clone(&self.slots),
+            next: Arc::clone(&self.next),
+            cancel: self.cancel.clone(),
+            policy: self.policy,
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `policy.jobs` worker threads with full
+/// supervision: panic isolation, bounded retry with deterministic
+/// backoff, optional per-job deadlines, quarantine, and cooperative
+/// cancellation. Results come back in input order.
+///
+/// `on_complete(index, &result)` runs on the *caller's* thread as each
+/// job completes (in completion order, not input order) — the durable
+/// journal hook: by the time the map returns, every completed result has
+/// been offered to the callback.
+///
+/// Jobs must be *retry-safe*: each call of `f` must build whatever state
+/// it needs from scratch (true of simulation points, which seed their
+/// RNGs from the input config). The supervisor asserts unwind safety on
+/// that basis: a panicked attempt's partial state is discarded wholesale
+/// with the attempt itself.
+///
+/// A job that hangs forever with no deadline configured hangs the map,
+/// exactly like the unsupervised pool — set
+/// [`SupervisePolicy::deadline_ms`] when jobs are not trusted to
+/// terminate. A timed-out job's thread cannot be killed; it is abandoned
+/// (its eventual result is discarded) and a replacement worker is
+/// spawned so pool strength is maintained.
+pub fn supervise_map<T, R, F>(
+    items: Vec<T>,
+    policy: &SupervisePolicy,
+    cancel: &CancelToken,
+    f: F,
+    mut on_complete: impl FnMut(usize, &R),
+) -> SuperviseReport<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    if n == 0 {
+        return SuperviseReport {
+            results: Vec::new(),
+            outcomes: Vec::new(),
+            cancelled: cancel.is_cancelled(),
+        };
+    }
+    let (tx, rx) = channel::<Event<R>>();
+    let ctx = WorkerCtx {
+        items: Arc::new(items),
+        f: Arc::new(f),
+        slots: Arc::new((0..n).map(|_| Mutex::new(Slot::Idle)).collect()),
+        next: Arc::new(AtomicUsize::new(0)),
+        cancel: cancel.clone(),
+        policy: *policy,
+        tx,
+    };
+    let workers = policy.jobs.max(1).min(n);
+    for _ in 0..workers {
+        spawn_worker(ctx.clone());
+    }
+
+    // Watchdog: scans running slots against the deadline; a trip resolves
+    // the slot, reports the timeout, and replaces the (possibly hung)
+    // worker. Exits once the collector has resolved every slot.
+    let done = Arc::new(AtomicBool::new(false));
+    if let Some(deadline_ms) = policy.deadline_ms {
+        let wd_ctx = ctx.clone();
+        let wd_done = Arc::clone(&done);
+        let deadline = Duration::from_millis(deadline_ms);
+        std::thread::spawn(move || {
+            while !wd_done.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(2));
+                for (i, slot) in wd_ctx.slots.iter().enumerate() {
+                    let tripped = {
+                        let mut s = lock_slot(slot);
+                        match *s {
+                            Slot::Running { started } if started.elapsed() >= deadline => {
+                                *s = Slot::Resolved;
+                                true
+                            }
+                            _ => false,
+                        }
+                    };
+                    if tripped {
+                        // The worker on this job may be hung; keep the
+                        // pool at strength and report the timeout.
+                        spawn_worker(wd_ctx.clone());
+                        if wd_ctx.tx.send(Event::TimedOut { index: i }).is_err() {
+                            return; // collector gone
+                        }
+                    }
+                }
+            }
+        });
+    }
+    drop(ctx); // collector keeps no sender: rx drains until all slots resolve
+
+    // Collector: exactly one terminal event arrives per slot (duplicates
+    // from the timeout-vs-completion race are filtered by `resolved`).
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut outcomes: Vec<JobOutcome> = vec![JobOutcome::Skipped; n];
+    let mut resolved = vec![false; n];
+    let mut remaining = n;
+    while remaining > 0 {
+        let Ok(ev) = rx.recv() else {
+            // Every sender hung up before all slots resolved — possible
+            // only if worker threads died outside catch_unwind. Record
+            // the loss instead of hanging.
+            for (outcome, done_flag) in outcomes.iter_mut().zip(&resolved) {
+                if !done_flag {
+                    *outcome = JobOutcome::Panicked {
+                        attempts: 0,
+                        message: "worker pool shut down before the job resolved".to_string(),
+                    };
+                }
+            }
+            break;
+        };
+        let index = match &ev {
+            Event::Done { index, .. }
+            | Event::Failed { index, .. }
+            | Event::TimedOut { index }
+            | Event::Skipped { index } => *index,
+        };
+        if resolved[index] {
+            continue;
+        }
+        resolved[index] = true;
+        remaining -= 1;
+        match ev {
+            Event::Done { attempts, value, .. } => {
+                on_complete(index, &value);
+                outcomes[index] = if attempts <= 1 {
+                    JobOutcome::Ok
+                } else {
+                    JobOutcome::Retried { attempts }
+                };
+                results[index] = Some(value);
+            }
+            Event::Failed { attempts, message, .. } => {
+                outcomes[index] = JobOutcome::Panicked { attempts, message };
+            }
+            Event::TimedOut { .. } => {
+                outcomes[index] = JobOutcome::TimedOut {
+                    deadline_ms: policy.deadline_ms.unwrap_or(0),
+                };
+            }
+            Event::Skipped { .. } => outcomes[index] = JobOutcome::Skipped,
+        }
+    }
+    done.store(true, Ordering::SeqCst);
+    SuperviseReport {
+        results,
+        outcomes,
+        cancelled: cancel.is_cancelled(),
+    }
+}
+
+/// Spawns one detached worker: claim the next index, run it under
+/// supervision, repeat until the cursor runs out. Detached because a
+/// worker stuck in a hung job must be abandonable — the collector
+/// tracks slot resolution, not thread exit.
+fn spawn_worker<T, R, F>(ctx: WorkerCtx<T, R, F>)
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    std::thread::spawn(move || {
+        loop {
+            let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+            if i >= ctx.items.len() {
+                return;
+            }
+            if ctx.cancel.is_cancelled() {
+                // Admission stopped: resolve the claimed slot as skipped
+                // and keep draining the cursor so the collector finishes
+                // promptly.
+                let mut s = lock_slot(&ctx.slots[i]);
+                if !matches!(*s, Slot::Resolved) {
+                    *s = Slot::Resolved;
+                    drop(s);
+                    if ctx.tx.send(Event::Skipped { index: i }).is_err() {
+                        return;
+                    }
+                }
+                continue;
+            }
+            run_one(&ctx, i);
+        }
+    });
+}
+
+/// Runs job `i` to a terminal slot state: attempts (with backoff) until
+/// success, retry exhaustion, or a watchdog timeout resolves the slot
+/// out from under the attempt (late results are discarded).
+fn run_one<T, R, F>(ctx: &WorkerCtx<T, R, F>, i: usize)
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    {
+        let mut s = lock_slot(&ctx.slots[i]);
+        match *s {
+            Slot::Idle => *s = Slot::Running { started: Instant::now() },
+            // Resolved (or somehow already running): nothing to do.
+            _ => return,
+        }
+    }
+    let max_attempts = ctx.policy.max_retries.saturating_add(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        // The closure only borrows `f` and one item; a panicking attempt
+        // discards its entire partial state, and jobs are documented
+        // retry-safe (each call rebuilds from scratch), so crossing the
+        // unwind boundary cannot expose broken invariants.
+        let outcome = catch_unwind(AssertUnwindSafe(|| (ctx.f)(i, &ctx.items[i])));
+        match outcome {
+            Ok(value) => {
+                let mut s = lock_slot(&ctx.slots[i]);
+                if matches!(*s, Slot::Resolved) {
+                    return; // timed out while running: discard
+                }
+                *s = Slot::Resolved;
+                drop(s);
+                let _ = ctx.tx.send(Event::Done { index: i, attempts: attempt, value });
+                return;
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                {
+                    let s = lock_slot(&ctx.slots[i]);
+                    if matches!(*s, Slot::Resolved) {
+                        return; // timed out during the attempt
+                    }
+                }
+                if attempt >= max_attempts {
+                    let mut s = lock_slot(&ctx.slots[i]);
+                    if matches!(*s, Slot::Resolved) {
+                        return;
+                    }
+                    *s = Slot::Resolved;
+                    drop(s);
+                    let _ = ctx.tx.send(Event::Failed { index: i, attempts: attempt, message });
+                    return;
+                }
+                std::thread::sleep(ctx.policy.backoff(attempt));
+                // Re-check after backoff: the deadline covers sleeps too.
+                let s = lock_slot(&ctx.slots[i]);
+                if matches!(*s, Slot::Resolved) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn policy(jobs: usize) -> SupervisePolicy {
+        SupervisePolicy {
+            jobs,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            ..SupervisePolicy::default()
+        }
+    }
+
+    #[test]
+    fn clean_map_matches_plain_results_in_order() {
+        for jobs in [1, 4] {
+            let items: Vec<u64> = (0..23).collect();
+            let r = supervise_map(items, &policy(jobs), &CancelToken::new(), |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            }, |_, _| {});
+            assert!(!r.cancelled);
+            assert_eq!(r.count("ok"), 23);
+            let vals: Vec<u64> = r.results.into_iter().map(Option::unwrap).collect();
+            assert_eq!(vals, (0..23).map(|x| x * 3).collect::<Vec<_>>());
+            assert!(r.outcomes.iter().all(|o| *o == JobOutcome::Ok));
+        }
+    }
+
+    #[test]
+    fn deterministic_panic_is_quarantined_without_aborting() {
+        let items: Vec<u32> = (0..8).collect();
+        let r = supervise_map(items, &policy(2), &CancelToken::new(), |_, &x| {
+            assert!(x != 5, "boom at five");
+            x + 1
+        }, |_, _| {});
+        assert_eq!(r.count("panicked"), 1);
+        assert_eq!(r.count("ok"), 7);
+        let q = r.quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, 5);
+        let JobOutcome::Panicked { attempts, message } = q[0].1 else {
+            panic!("expected Panicked, got {:?}", q[0].1)
+        };
+        assert_eq!(*attempts, 1);
+        assert!(message.contains("boom at five"), "message: {message}");
+        assert!(r.results[5].is_none());
+        assert_eq!(r.results[4], Some(5));
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_success() {
+        use std::sync::atomic::AtomicU32;
+        let failures = Arc::new(AtomicU32::new(0));
+        let f2 = Arc::clone(&failures);
+        let items: Vec<u32> = (0..4).collect();
+        let p = SupervisePolicy { max_retries: 2, ..policy(2) };
+        let r = supervise_map(items, &p, &CancelToken::new(), move |_, &x| {
+            if x == 2 && f2.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            x
+        }, |_, _| {});
+        assert_eq!(r.outcomes[2], JobOutcome::Retried { attempts: 3 });
+        assert_eq!(r.results[2], Some(2));
+        assert_eq!(r.count("ok"), 3);
+        assert_eq!(r.count("retried"), 1);
+    }
+
+    #[test]
+    fn retries_exhausted_reports_attempt_count() {
+        let items = vec![0u32];
+        let p = SupervisePolicy { max_retries: 3, ..policy(1) };
+        let r = supervise_map(items, &p, &CancelToken::new(), |_, _| -> u32 {
+            panic!("always")
+        }, |_, _| {});
+        assert_eq!(
+            r.outcomes[0],
+            JobOutcome::Panicked { attempts: 4, message: "always".to_string() }
+        );
+    }
+
+    #[test]
+    fn hung_job_times_out_and_rest_of_grid_completes() {
+        let items: Vec<u32> = (0..5).collect();
+        let p = SupervisePolicy {
+            deadline_ms: Some(40),
+            ..policy(1) // one worker: the replacement spawn is load-bearing
+        };
+        let r = supervise_map(items, &p, &CancelToken::new(), |_, &x| {
+            if x == 1 {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            x * 10
+        }, |_, _| {});
+        assert_eq!(r.outcomes[1], JobOutcome::TimedOut { deadline_ms: 40 });
+        assert!(r.results[1].is_none());
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(r.results[i], Some(i as u32 * 10), "point {i} must complete");
+        }
+    }
+
+    #[test]
+    fn cancel_skips_unstarted_jobs() {
+        // Cancel from inside the third job itself: with one worker the
+        // claim order is deterministic, so jobs 0..=2 complete and every
+        // later job is admitted after the token flips.
+        let items: Vec<u32> = (0..10).collect();
+        let cancel = CancelToken::new();
+        let c2 = cancel.clone();
+        let r = supervise_map(items, &policy(1), &cancel, move |_, &x| {
+            if x == 2 {
+                c2.cancel();
+            }
+            x
+        }, |_, _| {});
+        assert!(r.cancelled);
+        assert_eq!(r.count("ok"), 3);
+        assert_eq!(r.count("skipped"), 7);
+        assert_eq!(r.results[0], Some(0));
+        assert_eq!(r.results[2], Some(2));
+        assert!(r.results[3].is_none());
+    }
+
+    #[test]
+    fn on_complete_sees_every_completed_result() {
+        let items: Vec<u64> = (0..12).collect();
+        let seen = std::cell::RefCell::new(Vec::new());
+        let r = supervise_map(items, &policy(3), &CancelToken::new(), |_, &x| x + 100, |i, v: &u64| {
+            seen.borrow_mut().push((i, *v));
+        });
+        assert_eq!(r.count("ok"), 12);
+        let mut seen = seen.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).map(|i| (i as usize, i + 100)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = supervise_map(
+            Vec::<u32>::new(),
+            &policy(4),
+            &CancelToken::new(),
+            |_, &x| x,
+            |_, _| {},
+        );
+        assert!(r.results.is_empty() && r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = SupervisePolicy {
+            backoff_base_ms: 10,
+            backoff_cap_ms: 55,
+            ..SupervisePolicy::default()
+        };
+        assert_eq!(p.backoff(1).as_millis(), 10);
+        assert_eq!(p.backoff(2).as_millis(), 20);
+        assert_eq!(p.backoff(3).as_millis(), 40);
+        assert_eq!(p.backoff(4).as_millis(), 55);
+        assert_eq!(p.backoff(33).as_millis(), 55, "shift width is clamped");
+    }
+
+    #[test]
+    fn outcome_classes_and_predicates() {
+        let ok = JobOutcome::Ok;
+        let retried = JobOutcome::Retried { attempts: 2 };
+        let panicked = JobOutcome::Panicked { attempts: 1, message: "x".into() };
+        let timed = JobOutcome::TimedOut { deadline_ms: 5 };
+        let skipped = JobOutcome::Skipped;
+        assert!(ok.succeeded() && retried.succeeded());
+        assert!(!panicked.succeeded() && !timed.succeeded() && !skipped.succeeded());
+        assert!(panicked.quarantined() && timed.quarantined());
+        assert!(!ok.quarantined() && !skipped.quarantined());
+        assert_eq!(
+            [&ok, &retried, &panicked, &timed, &skipped].map(|o| o.class()),
+            ["ok", "retried", "panicked", "timed_out", "skipped"]
+        );
+    }
+}

@@ -5,12 +5,18 @@
 //! CLI's `sweep` subcommand; downstream users point it at their own
 //! workloads.
 
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
 use fpb_types::SystemConfig;
 
 use crate::engine::{run_workload_warmed, warm_cores, SimOptions};
 use crate::exec::parallel_map_indexed;
-use crate::metrics::Metrics;
+use crate::journal::{fingerprint64, JournalError, JournalHeader, JournalMode, JournalWriter};
+use crate::metrics::{json_string, Metrics};
 use crate::scheme::{SchemeRegistry, SchemeSetup, SchemeSpec};
+use crate::supervise::{supervise_map, CancelToken, JobOutcome, SupervisePolicy};
 use fpb_trace::Workload;
 
 /// One labeled variant of an axis: a point label and the configuration
@@ -197,32 +203,11 @@ pub fn run_sweep_jobs(
     build_spec(registry, &baseline_spec, &base_cfg);
     // Enumerate the grid up front in odometer order; workers then claim
     // points off this list, and results keep the enumeration order.
-    let mut grid: Vec<(String, SystemConfig)> = Vec::new();
-    let mut index = vec![0usize; axes.len()];
-    'grid: loop {
-        // Build this point's config and label.
-        let mut cfg = base_cfg.clone();
-        let mut parts = Vec::new();
-        for (a, &i) in axes.iter().zip(&index) {
-            let (name, f) = &a.variants[i];
-            cfg = f(cfg);
-            parts.push(format!("{}={}", a.name, name));
-        }
-        cfg.validate().expect("swept config invalid");
-        grid.push((parts.join(","), cfg));
-
-        // Odometer increment.
-        for d in (0..axes.len()).rev() {
-            index[d] += 1;
-            if index[d] < axes[d].variants.len() {
-                continue 'grid;
-            }
-            index[d] = 0;
-            if d == 0 {
-                break 'grid;
-            }
-        }
-    }
+    let grid = match enumerate_grid(&base_cfg, axes) {
+        Ok(grid) => grid,
+        // fpb-lint: allow(panic_freedom) — documented `# Panics` contract.
+        Err(e) => panic!("{e}"),
+    };
     parallel_map_indexed(&grid, jobs, |_, (label, cfg)| {
         let cores = warm_cores(workload, cfg, opts);
         let baseline = build_spec(registry, &baseline_spec, cfg);
@@ -256,6 +241,583 @@ fn build_spec(registry: &SchemeRegistry, spec: &SchemeSpec, cfg: &SystemConfig) 
         // fpb-lint: allow(panic_freedom) — documented `# Panics` contract.
         Err(e) => panic!("sweep scheme spec `{}`: {e}", spec.render()),
     }
+}
+
+/// Why a supervised sweep could not start (or durably finish). Mid-grid
+/// *point* failures are not errors — they land in the quarantine list of
+/// a successful [`SweepRun`]; this type covers problems with the sweep
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The axes describe no grid (no axes, or an axis with no variants).
+    Axes(String),
+    /// A scheme spec failed to parse or build.
+    Spec(String),
+    /// A swept configuration failed validation.
+    Config {
+        /// Label of the offending grid point.
+        label: String,
+        /// The validation failure.
+        detail: String,
+    },
+    /// The journal could not be created, resumed, or appended to — a
+    /// durability failure aborts the sweep rather than silently running
+    /// unjournaled.
+    Journal(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Axes(detail) => write!(f, "sweep needs at least one axis: {detail}"),
+            SweepError::Spec(detail) => write!(f, "sweep scheme spec {detail}"),
+            SweepError::Config { label, detail } => {
+                write!(f, "swept config invalid at `{label}`: {detail}")
+            }
+            SweepError::Journal(detail) => write!(f, "sweep journal: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Enumerates the cartesian product of `axes` over `base_cfg` in
+/// odometer order (last axis fastest), validating every produced
+/// configuration up front.
+///
+/// # Errors
+///
+/// [`SweepError::Axes`] for an empty grid, [`SweepError::Config`] for a
+/// variant combination that fails [`SystemConfig::validate`].
+pub fn enumerate_grid(
+    base_cfg: &SystemConfig,
+    axes: &[Axis],
+) -> Result<Vec<(String, SystemConfig)>, SweepError> {
+    if axes.is_empty() {
+        return Err(SweepError::Axes("no axes given".to_string()));
+    }
+    if let Some(empty) = axes.iter().find(|a| a.variants.is_empty()) {
+        return Err(SweepError::Axes(format!("axis `{}` has no variants", empty.name)));
+    }
+    let mut grid: Vec<(String, SystemConfig)> = Vec::new();
+    let mut index = vec![0usize; axes.len()];
+    'grid: loop {
+        // Build this point's config and label.
+        let mut cfg = base_cfg.clone();
+        let mut parts = Vec::new();
+        for (a, &i) in axes.iter().zip(&index) {
+            let (name, f) = &a.variants[i];
+            cfg = f(cfg);
+            parts.push(format!("{}={}", a.name, name));
+        }
+        let label = parts.join(",");
+        if let Err(e) = cfg.validate() {
+            return Err(SweepError::Config { label, detail: e.to_string() });
+        }
+        grid.push((label, cfg));
+
+        // Odometer increment.
+        for d in (0..axes.len()).rev() {
+            index[d] += 1;
+            if index[d] < axes[d].variants.len() {
+                continue 'grid;
+            }
+            index[d] = 0;
+            if d == 0 {
+                break 'grid;
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Test hook: make one grid point panic on its first `attempts`
+/// executions (pass `u32::MAX` for "always"). Exposed through
+/// `fpb sweep --inject-panic` so crash-recovery behavior — quarantine,
+/// journaling, resume — can be exercised end to end without patching the
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Grid index of the point to poison.
+    pub point: usize,
+    /// How many executions of that point panic before it succeeds.
+    pub attempts: u32,
+}
+
+/// Everything a supervised sweep needs (the plain positional-argument
+/// form of [`run_sweep_jobs`] plus the supervision/journal knobs).
+pub struct SupervisedSweepRequest<'a> {
+    /// Workload to sweep.
+    pub workload: &'a Workload,
+    /// Base configuration the axes transform.
+    pub base_cfg: SystemConfig,
+    /// Sweep axes (cartesian product, odometer order).
+    pub axes: &'a [Axis],
+    /// Scheme spec string under test.
+    pub scheme: &'a str,
+    /// Baseline scheme spec string.
+    pub baseline: &'a str,
+    /// Simulation options, shared by every point.
+    pub opts: SimOptions,
+    /// Worker count, retry budget, backoff, and deadline.
+    pub policy: SupervisePolicy,
+    /// Optional durable journal (fresh or resumed).
+    pub journal: Option<JournalMode>,
+    /// Cooperative cancellation handle (checked at point admission).
+    pub cancel: CancelToken,
+    /// Cancel automatically once this many points complete *in this
+    /// run* (restored points don't count) — the deterministic stand-in
+    /// for pressing Ctrl-C mid-sweep.
+    pub cancel_after: Option<usize>,
+    /// Crash-injection test hook.
+    pub inject_panic: Option<PanicInjection>,
+}
+
+/// How one grid point ended up in a [`SweepRun`].
+#[derive(Debug, Clone)]
+pub enum PointState {
+    /// Simulated in this run. Boxed: a [`SweepPoint`] carries full
+    /// [`Metrics`] and dwarfs the other variants.
+    Done(Box<SweepPoint>),
+    /// Restored verbatim from a resumed journal (the stored JSON
+    /// fragment; the metrics were produced by an earlier run).
+    Restored {
+        /// The journaled result fragment, spliced into reports as-is.
+        fragment: String,
+    },
+    /// Quarantined (panicked every attempt, or timed out).
+    Failed,
+    /// Never ran: the sweep was cancelled first.
+    Skipped,
+}
+
+/// One grid point of a supervised sweep: its label, terminal state, and
+/// supervision outcome.
+#[derive(Debug, Clone)]
+pub struct SweepPointRecord {
+    /// Grid index (odometer order).
+    pub index: usize,
+    /// Point label including the scheme suffix (`pt=466t [FPB]`).
+    pub label: String,
+    /// Result state.
+    pub state: PointState,
+    /// Supervision outcome ([`JobOutcome::Ok`] for restored points: they
+    /// completed successfully, just in an earlier run).
+    pub outcome: JobOutcome,
+}
+
+/// Display-ready derived stats for one completed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointStats {
+    /// Speedup over the baseline (Eq. 7).
+    pub speedup: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Percent of cycles in write bursts.
+    pub burst_pct: f64,
+}
+
+impl SweepPointRecord {
+    /// Derived stats for the summary table; `None` for failed or skipped
+    /// points. Works for restored points too, by extracting the integer
+    /// counters from the stored fragment.
+    pub fn stats(&self) -> Option<PointStats> {
+        match &self.state {
+            PointState::Done(p) => Some(PointStats {
+                speedup: p.speedup(),
+                cpi: p.metrics.cpi(),
+                burst_pct: p.metrics.burst_fraction() * 100.0,
+            }),
+            PointState::Restored { fragment } => {
+                let cycles = fragment_u64(fragment, Section::Metrics, "cycles")?;
+                let instructions =
+                    fragment_u64(fragment, Section::Metrics, "instructions_per_core")?;
+                let burst = fragment_u64(fragment, Section::Metrics, "burst_cycles")?;
+                let base_cycles = fragment_u64(fragment, Section::Baseline, "cycles")?;
+                if cycles == 0 || instructions == 0 {
+                    return None;
+                }
+                Some(PointStats {
+                    speedup: base_cycles as f64 / cycles as f64,
+                    cpi: cycles as f64 / instructions as f64,
+                    burst_pct: burst as f64 / cycles as f64 * 100.0,
+                })
+            }
+            PointState::Failed | PointState::Skipped => None,
+        }
+    }
+
+    /// The point's result fragment: the journaled bytes for restored
+    /// points, a fresh rendering for points simulated in this run, and
+    /// `None` for failed/skipped points. Fresh renderings and journaled
+    /// bytes are the same pure function of the metrics — the heart of
+    /// the byte-identical-resume guarantee.
+    pub fn fragment(&self) -> Option<String> {
+        match &self.state {
+            PointState::Done(p) => Some(render_fragment(self.index, &p.label, p)),
+            PointState::Restored { fragment } => Some(fragment.clone()),
+            PointState::Failed | PointState::Skipped => None,
+        }
+    }
+}
+
+/// Which half of a point fragment to read a counter from.
+#[derive(Clone, Copy)]
+enum Section {
+    Metrics,
+    Baseline,
+}
+
+/// Extracts one integer counter from a stored point fragment without a
+/// JSON parser: the fragment format is fixed (rendered by
+/// [`render_fragment`]), so a key search within the right section is
+/// exact.
+fn fragment_u64(fragment: &str, section: Section, field: &str) -> Option<u64> {
+    let split = fragment.find("\"baseline\": ")?;
+    let hay = match section {
+        Section::Metrics => &fragment[..split],
+        Section::Baseline => &fragment[split..],
+    };
+    let key = format!("\"{field}\": ");
+    let start = hay.find(&key)? + key.len();
+    let rest = &hay[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders the journal/report fragment for one completed point. Pure
+/// function of `(index, label, metrics)`: journaled bytes and re-rendered
+/// bytes always agree.
+fn render_fragment(index: usize, label: &str, point: &SweepPoint) -> String {
+    format!(
+        "{{\"index\": {index}, \"label\": {}, \"metrics\": {}, \"baseline\": {}}}",
+        json_string(label),
+        point.metrics.to_json_inline(),
+        point.baseline.to_json_inline()
+    )
+}
+
+/// A finished supervised sweep: every grid point's record plus run-level
+/// bookkeeping.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Workload name.
+    pub workload: String,
+    /// Canonical rendering of the scheme spec.
+    pub scheme: String,
+    /// Canonical rendering of the baseline spec.
+    pub baseline: String,
+    /// Instruction budget per core.
+    pub instructions: u64,
+    /// One record per grid point, in odometer order.
+    pub points: Vec<SweepPointRecord>,
+    /// Points restored from a resumed journal (not simulated this run).
+    pub restored: usize,
+    /// Corrupt-tail journal lines dropped during resume.
+    pub dropped_journal_lines: usize,
+    /// True if the sweep stopped admitting points before the grid was
+    /// exhausted.
+    pub cancelled: bool,
+}
+
+impl SweepRun {
+    /// Number of points whose outcome has the given class.
+    pub fn count(&self, class: &str) -> usize {
+        self.points.iter().filter(|p| p.outcome.class() == class).count()
+    }
+
+    /// Records of quarantined points, in grid order.
+    pub fn quarantined(&self) -> Vec<&SweepPointRecord> {
+        self.points.iter().filter(|p| p.outcome.quarantined()).collect()
+    }
+
+    /// True when every grid point has a result (none quarantined or
+    /// skipped).
+    pub fn complete(&self) -> bool {
+        self.points.iter().all(|p| p.outcome.succeeded())
+    }
+
+    /// Deterministic JSON rendering (schema `fpb-sweep/v1`).
+    ///
+    /// Point results are spliced in as stored/rendered fragments, and
+    /// restored points report the `ok` outcome they earned in the run
+    /// that produced them — so a resumed sweep renders **byte-identical**
+    /// JSON to an uninterrupted one. Run-local bookkeeping that *does*
+    /// differ between the two (restored count, dropped journal lines) is
+    /// deliberately kept out of this document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"fpb-sweep/v1\",\n");
+        s.push_str(&format!("  \"workload\": {},\n", json_string(&self.workload)));
+        s.push_str(&format!("  \"scheme\": {},\n", json_string(&self.scheme)));
+        s.push_str(&format!("  \"baseline\": {},\n", json_string(&self.baseline)));
+        s.push_str(&format!("  \"instructions_per_core\": {},\n", self.instructions));
+        s.push_str(&format!("  \"points\": {},\n", self.points.len()));
+        s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
+        s.push_str("  \"job_outcomes\": {\n");
+        for class in ["ok", "retried", "panicked", "timed_out", "skipped"] {
+            s.push_str(&format!("    \"{class}\": {},\n", self.count(class)));
+        }
+        s.push_str("    \"quarantined\": [");
+        for (i, rec) in self.quarantined().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let detail = match &rec.outcome {
+                JobOutcome::Panicked { message, .. } => message.clone(),
+                JobOutcome::TimedOut { deadline_ms } => {
+                    format!("deadline {deadline_ms}ms exceeded")
+                }
+                _ => String::new(),
+            };
+            s.push_str(&format!(
+                "\n      {{\"index\": {}, \"label\": {}, \"class\": \"{}\", \"detail\": {}}}",
+                rec.index,
+                json_string(&rec.label),
+                rec.outcome.class(),
+                json_string(&detail)
+            ));
+        }
+        if !self.quarantined().is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  },\n");
+        s.push_str("  \"point_metrics\": [");
+        let mut first = true;
+        for rec in &self.points {
+            if let Some(frag) = rec.fragment() {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str("\n    ");
+                s.push_str(&frag);
+            }
+        }
+        if !first {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Canonical fingerprint of a sweep: every input that determines point
+/// results, hashed so a journal can refuse to resume a *different*
+/// sweep. (Labels pin the grid; the config debug form pins the base.)
+fn sweep_fingerprint(
+    workload: &Workload,
+    scheme: &str,
+    baseline: &str,
+    opts: &SimOptions,
+    base_cfg: &SystemConfig,
+    grid: &[(String, SystemConfig)],
+) -> u64 {
+    let mut desc = format!("{}|{scheme}|{baseline}|{opts:?}|{base_cfg:?}", workload.name);
+    for (label, _) in grid {
+        desc.push('|');
+        desc.push_str(label);
+    }
+    fingerprint64(&desc)
+}
+
+/// [`run_sweep_jobs`] under full supervision: panic isolation with
+/// bounded retry and quarantine, optional per-point deadlines, optional
+/// durable journaling with resume, and cooperative cancellation.
+///
+/// With a default policy, no journal, and no cancellation this computes
+/// exactly what [`run_sweep_jobs`] computes (bit-for-bit, any worker
+/// count) — it just survives what the plain sweep dies from.
+///
+/// # Errors
+///
+/// Errors cover the sweep *setup* (bad axes, bad specs, invalid configs,
+/// journal I/O); individual point failures quarantine inside an `Ok`
+/// run — check [`SweepRun::quarantined`].
+pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun, SweepError> {
+    let registry = SchemeRegistry::standard();
+    let scheme_spec: SchemeSpec = req
+        .scheme
+        .parse()
+        .map_err(|e| SweepError::Spec(format!("`{}`: {e}", req.scheme)))?;
+    let baseline_spec: SchemeSpec = req
+        .baseline
+        .parse()
+        .map_err(|e| SweepError::Spec(format!("`{}`: {e}", req.baseline)))?;
+    // One build against the base config proves every per-point build
+    // will succeed (semantic spec errors are config-independent).
+    let scheme_setup = registry
+        .build_spec(&scheme_spec, &req.base_cfg)
+        .map_err(|e| SweepError::Spec(format!("`{}`: {e}", req.scheme)))?;
+    registry
+        .build_spec(&baseline_spec, &req.base_cfg)
+        .map_err(|e| SweepError::Spec(format!("`{}`: {e}", req.baseline)))?;
+    let grid = enumerate_grid(&req.base_cfg, req.axes)?;
+    let n = grid.len();
+    let scheme_render = scheme_spec.render();
+    let baseline_render = baseline_spec.render();
+
+    // Attach the journal (if any) and restore completed points.
+    let header = JournalHeader {
+        fingerprint: sweep_fingerprint(
+            req.workload,
+            &scheme_render,
+            &baseline_render,
+            &req.opts,
+            &req.base_cfg,
+            &grid,
+        ),
+        points: n,
+        meta: format!(
+            "{} {scheme_render} vs {baseline_render} ({n} points)",
+            req.workload.name
+        ),
+    };
+    let journal_err = |e: JournalError| SweepError::Journal(e.to_string());
+    let mut restored_frag: Vec<Option<String>> = vec![None; n];
+    let mut dropped_journal_lines = 0usize;
+    let mut writer: Option<JournalWriter> = None;
+    match &req.journal {
+        None => {}
+        Some(JournalMode::Fresh(path)) => {
+            writer = Some(JournalWriter::create(path, &header).map_err(journal_err)?);
+        }
+        Some(JournalMode::Resume(path)) => {
+            let (w, contents) = JournalWriter::resume(path, &header).map_err(journal_err)?;
+            dropped_journal_lines = contents.dropped_lines;
+            for rec in contents.records {
+                // Indices are validated against the header by the reader;
+                // first occurrence wins on duplicates.
+                let slot = &mut restored_frag[rec.index];
+                if slot.is_none() {
+                    *slot = Some(rec.payload);
+                }
+            }
+            writer = Some(w);
+        }
+    }
+    let restored = restored_frag.iter().filter(|f| f.is_some()).count();
+
+    // Pending points, carrying their grid index through supervision.
+    let items: Vec<(usize, String, SystemConfig)> = grid
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| restored_frag[*i].is_none())
+        .map(|(i, (label, cfg))| (i, label.clone(), cfg.clone()))
+        .collect();
+    let item_indices: Vec<usize> = items.iter().map(|(i, _, _)| *i).collect();
+    let item_labels: Vec<String> =
+        items.iter().map(|(_, l, _)| format!("{l} [{}]", scheme_setup.label)).collect();
+
+    let workload = req.workload.clone();
+    let opts = req.opts;
+    let job_scheme = scheme_spec.clone();
+    let job_baseline = baseline_spec.clone();
+    let inject = req.inject_panic;
+    let inject_runs = Arc::new(AtomicU32::new(0));
+    // --cancel-after trips on the worker side, at the moment the Nth
+    // point of *this run* finishes — deterministic with one worker
+    // (exactly N points complete), best-effort with more.
+    let cancel_after = req.cancel_after;
+    let completed_this_run = Arc::new(AtomicU32::new(0));
+    let job_cancel = req.cancel.clone();
+    let job = move |_slot: usize, item: &(usize, String, SystemConfig)| -> (usize, SweepPoint) {
+        let (grid_index, label, cfg) = item;
+        if let Some(inj) = inject {
+            if *grid_index == inj.point
+                && inject_runs.fetch_add(1, Ordering::SeqCst) < inj.attempts
+            {
+                // The documented `--inject-panic` crash-recovery hook.
+                // fpb-lint: allow(panic_freedom)
+                panic!("injected panic at point {grid_index} ({label})");
+            }
+        }
+        let registry = SchemeRegistry::standard();
+        let cores = warm_cores(&workload, cfg, &opts);
+        let baseline = build_spec(registry, &job_baseline, cfg);
+        let scheme = build_spec(registry, &job_scheme, cfg);
+        let base = run_workload_warmed(&workload, cfg, &baseline, &opts, &cores);
+        let m = run_workload_warmed(&workload, cfg, &scheme, &opts, &cores);
+        let point = SweepPoint {
+            label: format!("{label} [{}]", scheme.label),
+            metrics: m,
+            baseline: base,
+        };
+        let done = completed_this_run.fetch_add(1, Ordering::SeqCst) + 1;
+        if cancel_after.is_some_and(|limit| done as usize >= limit) {
+            job_cancel.cancel();
+        }
+        (*grid_index, point)
+    };
+
+    // Journal each completion from the collector thread, before the
+    // point is considered durable; a journal write failure cancels the
+    // sweep (running unjournaled would betray the --journal contract).
+    let mut journal_failure: Option<JournalError> = None;
+    let cancel = req.cancel.clone();
+    let report = supervise_map(
+        items,
+        &req.policy,
+        &req.cancel,
+        job,
+        |_slot, (grid_index, point): &(usize, SweepPoint)| {
+            if journal_failure.is_some() {
+                return;
+            }
+            if let Some(w) = writer.as_mut() {
+                let fragment = render_fragment(*grid_index, &point.label, point);
+                if let Err(e) = w.append_record(*grid_index, &fragment) {
+                    journal_failure = Some(e);
+                    cancel.cancel();
+                }
+            }
+        },
+    );
+    if let Some(e) = journal_failure {
+        return Err(journal_err(e));
+    }
+
+    // Assemble records in grid order: restored points first, then the
+    // supervised outcomes mapped back through their grid indices.
+    let mut records: Vec<SweepPointRecord> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| SweepPointRecord {
+            index: i,
+            label: format!("{label} [{}]", scheme_setup.label),
+            state: match restored_frag[i].take() {
+                Some(fragment) => PointState::Restored { fragment },
+                None => PointState::Skipped,
+            },
+            outcome: JobOutcome::Ok,
+        })
+        .collect();
+    for (((outcome, result), grid_index), label) in report
+        .outcomes
+        .into_iter()
+        .zip(report.results)
+        .zip(item_indices)
+        .zip(item_labels)
+    {
+        let state = match result {
+            Some((_, point)) => PointState::Done(Box::new(point)),
+            None if outcome.quarantined() => PointState::Failed,
+            None => PointState::Skipped,
+        };
+        records[grid_index] = SweepPointRecord { index: grid_index, label, state, outcome };
+    }
+
+    Ok(SweepRun {
+        workload: req.workload.name.to_string(),
+        scheme: scheme_render,
+        baseline: baseline_render,
+        instructions: req.opts.instructions_per_core,
+        points: records,
+        restored,
+        dropped_journal_lines,
+        cancelled: report.cancelled,
+    })
 }
 
 #[cfg(test)]
@@ -341,5 +903,148 @@ mod tests {
             "dimm-chip",
             &opts(),
         );
+    }
+
+    #[test]
+    fn enumerate_grid_rejects_degenerate_axes() {
+        let cfg = SystemConfig::default();
+        assert!(matches!(enumerate_grid(&cfg, &[]), Err(SweepError::Axes(_))));
+        let hollow = Axis { name: "pt", variants: Vec::new() };
+        let err = enumerate_grid(&cfg, &[hollow]).unwrap_err();
+        assert!(err.to_string().contains("axis `pt` has no variants"), "{err}");
+    }
+
+    #[test]
+    fn enumerate_grid_matches_sweep_order() {
+        let cfg = SystemConfig::default();
+        let grid = enumerate_grid(
+            &cfg,
+            &[Axis::pt_dimm(&[466, 560]), Axis::e_gcp(&[0.7, 0.5])],
+        )
+        .unwrap();
+        let labels: Vec<&str> = grid.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["pt=466t,egcp=0.7", "pt=466t,egcp=0.5", "pt=560t,egcp=0.7", "pt=560t,egcp=0.5"]
+        );
+    }
+
+    #[test]
+    fn fragment_round_trips_display_stats() {
+        let point = SweepPoint {
+            label: "pt=466t [FPB]".to_string(),
+            metrics: Metrics {
+                cycles: 2_000,
+                instructions_per_core: 1_000,
+                burst_cycles: 500,
+                ..Metrics::default()
+            },
+            baseline: Metrics {
+                cycles: 3_000,
+                instructions_per_core: 1_000,
+                ..Metrics::default()
+            },
+        };
+        let frag = render_fragment(4, &point.label, &point);
+        assert!(frag.starts_with("{\"index\": 4, \"label\": \"pt=466t [FPB]\", \"metrics\": {"));
+        assert!(!frag.contains('\n'), "fragments must be single-line: {frag}");
+
+        // A Done record and a Restored record over the same data must
+        // derive the same table stats and re-render the same fragment.
+        let done = SweepPointRecord {
+            index: 4,
+            label: point.label.clone(),
+            state: PointState::Done(Box::new(point)),
+            outcome: JobOutcome::Ok,
+        };
+        let restored = SweepPointRecord {
+            index: 4,
+            label: done.label.clone(),
+            state: PointState::Restored { fragment: frag.clone() },
+            outcome: JobOutcome::Ok,
+        };
+        assert_eq!(done.fragment().unwrap(), frag);
+        assert_eq!(restored.fragment().unwrap(), frag);
+        let (a, b) = (done.stats().unwrap(), restored.stats().unwrap());
+        assert!((a.speedup - b.speedup).abs() < 1e-12);
+        assert!((a.cpi - b.cpi).abs() < 1e-12);
+        assert!((a.burst_pct - b.burst_pct).abs() < 1e-12);
+        assert!((b.speedup - 1.5).abs() < 1e-12);
+        assert!((b.cpi - 2.0).abs() < 1e-12);
+        assert!((b.burst_pct - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragment_u64_reads_the_right_section() {
+        let frag = "{\"index\": 1, \"label\": \"x\", \"metrics\": {\"cycles\": 10, \
+                    \"burst_cycles\": 3}, \"baseline\": {\"cycles\": 40, \"burst_cycles\": 7}}";
+        assert_eq!(fragment_u64(frag, Section::Metrics, "cycles"), Some(10));
+        assert_eq!(fragment_u64(frag, Section::Baseline, "cycles"), Some(40));
+        assert_eq!(fragment_u64(frag, Section::Metrics, "burst_cycles"), Some(3));
+        assert_eq!(fragment_u64(frag, Section::Baseline, "burst_cycles"), Some(7));
+        assert_eq!(fragment_u64(frag, Section::Metrics, "absent"), None);
+        assert_eq!(fragment_u64("no baseline here", Section::Metrics, "cycles"), None);
+    }
+
+    #[test]
+    fn sweep_fingerprint_tracks_every_input() {
+        let wl = catalog::workload("cop_m").expect("workload");
+        let wl2 = catalog::workload("mcf_m").expect("workload");
+        let cfg = SystemConfig::default();
+        let grid = enumerate_grid(&cfg, &[Axis::pt_dimm(&[466, 560])]).unwrap();
+        let base = sweep_fingerprint(&wl, "fpb", "dimm-chip", &opts(), &cfg, &grid);
+        assert_eq!(base, sweep_fingerprint(&wl, "fpb", "dimm-chip", &opts(), &cfg, &grid));
+        assert_ne!(base, sweep_fingerprint(&wl2, "fpb", "dimm-chip", &opts(), &cfg, &grid));
+        assert_ne!(base, sweep_fingerprint(&wl, "gcp", "dimm-chip", &opts(), &cfg, &grid));
+        let other_opts = SimOptions::with_instructions(999);
+        assert_ne!(base, sweep_fingerprint(&wl, "fpb", "dimm-chip", &other_opts, &cfg, &grid));
+        let bigger = enumerate_grid(&cfg, &[Axis::pt_dimm(&[466, 560, 512])]).unwrap();
+        assert_ne!(base, sweep_fingerprint(&wl, "fpb", "dimm-chip", &opts(), &cfg, &bigger));
+    }
+
+    #[test]
+    fn supervised_json_shape_without_running_points() {
+        let run = SweepRun {
+            workload: "cop_m".to_string(),
+            scheme: "fpb".to_string(),
+            baseline: "dimm-chip".to_string(),
+            instructions: 1_000,
+            points: vec![
+                SweepPointRecord {
+                    index: 0,
+                    label: "pt=466t [FPB]".to_string(),
+                    state: PointState::Restored {
+                        fragment: "{\"index\": 0, \"label\": \"pt=466t [FPB]\", \"metrics\": {}, \"baseline\": {}}".to_string(),
+                    },
+                    outcome: JobOutcome::Ok,
+                },
+                SweepPointRecord {
+                    index: 1,
+                    label: "pt=560t [FPB]".to_string(),
+                    state: PointState::Failed,
+                    outcome: JobOutcome::Panicked { attempts: 2, message: "boom".to_string() },
+                },
+                SweepPointRecord {
+                    index: 2,
+                    label: "pt=512t [FPB]".to_string(),
+                    state: PointState::Skipped,
+                    outcome: JobOutcome::Skipped,
+                },
+            ],
+            restored: 1,
+            dropped_journal_lines: 0,
+            cancelled: true,
+        };
+        let json = run.to_json();
+        assert!(json.contains("\"schema\": \"fpb-sweep/v1\""));
+        assert!(json.contains("\"ok\": 1,"));
+        assert!(json.contains("\"panicked\": 1,"));
+        assert!(json.contains("\"skipped\": 1,"));
+        assert!(json.contains("\"cancelled\": true"));
+        assert!(json.contains("\"class\": \"panicked\", \"detail\": \"boom\""));
+        assert!(!json.contains("restored"), "run-local bookkeeping stays out of the JSON");
+        assert_eq!(run.count("ok"), 1);
+        assert_eq!(run.quarantined().len(), 1);
+        assert!(!run.complete());
     }
 }

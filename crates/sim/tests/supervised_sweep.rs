@@ -1,0 +1,246 @@
+//! End-to-end guarantees of the supervised sweep: equivalence with the
+//! plain sweep, quarantine behavior, retries, and byte-identical
+//! journal resume.
+
+use std::path::PathBuf;
+
+use fpb_sim::journal::JournalMode;
+use fpb_sim::sweep::{
+    run_sweep_jobs, run_sweep_supervised, Axis, PanicInjection, PointState,
+    SupervisedSweepRequest, SweepError, SweepRun,
+};
+use fpb_sim::{CancelToken, JobOutcome, SimOptions, SupervisePolicy};
+use fpb_trace::catalog;
+use fpb_trace::Workload;
+use fpb_types::SystemConfig;
+
+const INSTRUCTIONS: u64 = 3_000;
+
+fn axes() -> Vec<Axis> {
+    vec![Axis::pt_dimm(&[466, 560]), Axis::e_gcp(&[0.6, 0.9])]
+}
+
+fn workload() -> Workload {
+    catalog::workload("cop_m").expect("pinned workload")
+}
+
+fn request<'a>(wl: &'a Workload, axes: &'a [Axis]) -> SupervisedSweepRequest<'a> {
+    SupervisedSweepRequest {
+        workload: wl,
+        base_cfg: SystemConfig::default(),
+        axes,
+        scheme: "fpb",
+        baseline: "dimm-chip",
+        opts: SimOptions::with_instructions(INSTRUCTIONS),
+        policy: SupervisePolicy { backoff_base_ms: 1, backoff_cap_ms: 2, ..SupervisePolicy::default() },
+        journal: None,
+        cancel: CancelToken::new(),
+        cancel_after: None,
+        inject_panic: None,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fpb-supervised-sweep-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = dir.join(name);
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+#[test]
+fn supervised_matches_plain_sweep_bit_for_bit() {
+    let wl = workload();
+    let axes = axes();
+    let plain = run_sweep_jobs(
+        &wl,
+        SystemConfig::default(),
+        &axes,
+        "fpb",
+        "dimm-chip",
+        &SimOptions::with_instructions(INSTRUCTIONS),
+        1,
+    );
+    for jobs in [1, 3] {
+        let mut req = request(&wl, &axes);
+        req.policy.jobs = jobs;
+        let run = run_sweep_supervised(req).expect("healthy sweep");
+        assert!(run.complete() && !run.cancelled);
+        assert_eq!(run.points.len(), plain.len());
+        for (rec, expect) in run.points.iter().zip(&plain) {
+            assert_eq!(rec.outcome, JobOutcome::Ok);
+            let PointState::Done(point) = &rec.state else {
+                panic!("expected Done, got {:?}", rec.state)
+            };
+            assert_eq!(point.label, expect.label, "jobs={jobs}");
+            assert_eq!(point.metrics, expect.metrics, "jobs={jobs} {}", expect.label);
+            assert_eq!(point.baseline, expect.baseline, "jobs={jobs} {}", expect.label);
+        }
+    }
+}
+
+#[test]
+fn deterministic_panic_quarantines_one_point_and_finishes_the_grid() {
+    let wl = workload();
+    let axes = axes();
+    let mut req = request(&wl, &axes);
+    req.policy.jobs = 2;
+    req.inject_panic = Some(PanicInjection { point: 2, attempts: u32::MAX });
+    let run = run_sweep_supervised(req).expect("sweep itself succeeds");
+    assert_eq!(run.count("ok"), 3);
+    assert_eq!(run.count("panicked"), 1);
+    assert!(!run.cancelled, "quarantine must not cancel the rest of the grid");
+    let q = run.quarantined();
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].index, 2);
+    let JobOutcome::Panicked { attempts, message } = &q[0].outcome else {
+        panic!("expected Panicked, got {:?}", q[0].outcome)
+    };
+    assert_eq!(*attempts, 1, "no retries configured");
+    assert!(message.contains("injected panic at point 2"), "{message}");
+    let json = run.to_json();
+    assert!(json.contains("\"panicked\": 1,"), "{json}");
+    assert!(json.contains("\"class\": \"panicked\""), "{json}");
+}
+
+#[test]
+fn transient_panic_is_retried_and_metrics_match_clean_run() {
+    let wl = workload();
+    let axes = axes();
+    let clean = {
+        let req = request(&wl, &axes);
+        run_sweep_supervised(req).expect("clean run")
+    };
+    let mut req = request(&wl, &axes);
+    req.policy.max_retries = 2;
+    req.inject_panic = Some(PanicInjection { point: 1, attempts: 1 });
+    let run = run_sweep_supervised(req).expect("retried run");
+    assert_eq!(run.points[1].outcome, JobOutcome::Retried { attempts: 2 });
+    assert!(run.complete());
+    let (PointState::Done(a), PointState::Done(b)) =
+        (&run.points[1].state, &clean.points[1].state)
+    else {
+        panic!("both runs must complete point 1")
+    };
+    assert_eq!(a.metrics, b.metrics, "retried result must equal a clean run's");
+}
+
+fn journaled_run(
+    wl: &Workload,
+    axes: &[Axis],
+    mode: JournalMode,
+    cancel_after: Option<usize>,
+) -> Result<SweepRun, SweepError> {
+    let mut req = request(wl, axes);
+    req.journal = Some(mode);
+    req.cancel_after = cancel_after;
+    run_sweep_supervised(req)
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_renders_byte_identical_json() {
+    let wl = workload();
+    let axes = axes();
+    let clean = run_sweep_supervised(request(&wl, &axes)).expect("clean run");
+    assert!(clean.complete());
+
+    // Run with a journal, cancelling after 2 completed points (the
+    // deterministic stand-in for Ctrl-C mid-sweep).
+    let path = tmp("resume_identity.fpbj");
+    let partial = journaled_run(&wl, &axes, JournalMode::Fresh(path.clone()), Some(2))
+        .expect("partial run");
+    assert!(partial.cancelled);
+    // One worker: exactly 2 points complete, the rest are skipped.
+    let done_first = partial.count("ok");
+    assert_eq!(done_first, 2);
+    assert_eq!(partial.count("skipped"), 2);
+
+    // Resume: restored points + the remainder, byte-identical JSON.
+    let resumed = journaled_run(&wl, &axes, JournalMode::Resume(path.clone()), None)
+        .expect("resumed run");
+    assert!(resumed.complete() && !resumed.cancelled);
+    assert_eq!(resumed.restored, done_first);
+    assert_eq!(resumed.dropped_journal_lines, 0);
+    assert_eq!(
+        resumed.to_json(),
+        clean.to_json(),
+        "resumed sweep must render byte-identical JSON to an uninterrupted run"
+    );
+
+    // Resuming a *finished* journal restores everything and still
+    // renders identical bytes.
+    let re_resumed = journaled_run(&wl, &axes, JournalMode::Resume(path.clone()), None)
+        .expect("re-resumed run");
+    assert_eq!(re_resumed.restored, 4);
+    assert_eq!(re_resumed.to_json(), clean.to_json());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn crash_at_point_k_then_resume_is_byte_identical() {
+    let wl = workload();
+    let axes = axes();
+    let clean = run_sweep_supervised(request(&wl, &axes)).expect("clean run");
+
+    // "Crash": a deterministic panic at point 1 quarantines it; every
+    // other point completes and is journaled.
+    let path = tmp("crash_resume.fpbj");
+    let mut req = request(&wl, &axes);
+    req.journal = Some(JournalMode::Fresh(path.clone()));
+    req.inject_panic = Some(PanicInjection { point: 1, attempts: u32::MAX });
+    let crashed = run_sweep_supervised(req).expect("crashed run still reports");
+    assert_eq!(crashed.count("panicked"), 1);
+    assert_eq!(crashed.count("ok"), 3);
+
+    // Resume without the injection: only the quarantined point reruns,
+    // and the final document matches the uninterrupted run exactly.
+    let resumed = journaled_run(&wl, &axes, JournalMode::Resume(path.clone()), None)
+        .expect("resumed run");
+    assert_eq!(resumed.restored, 3);
+    assert!(resumed.complete());
+    assert_eq!(resumed.to_json(), clean.to_json());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_sweep() {
+    let wl = workload();
+    let axes = axes();
+    let path = tmp("wrong_sweep.fpbj");
+    journaled_run(&wl, &axes, JournalMode::Fresh(path.clone()), Some(1)).expect("seed journal");
+
+    // Same journal, different scheme: the fingerprint must not match.
+    let mut req = request(&wl, &axes);
+    req.scheme = "gcp";
+    req.journal = Some(JournalMode::Resume(path.clone()));
+    let err = run_sweep_supervised(req).expect_err("must refuse");
+    assert!(matches!(err, SweepError::Journal(_)));
+    assert!(err.to_string().contains("different sweep"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fresh_journal_refuses_to_clobber() {
+    let wl = workload();
+    let axes = axes();
+    let path = tmp("no_clobber_sweep.fpbj");
+    journaled_run(&wl, &axes, JournalMode::Fresh(path.clone()), Some(1)).expect("first run");
+    let err = journaled_run(&wl, &axes, JournalMode::Fresh(path.clone()), None)
+        .expect_err("must refuse");
+    assert!(err.to_string().contains("already exists"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_specs_and_axes_error_instead_of_panicking() {
+    let wl = workload();
+    let axes = axes();
+    let mut req = request(&wl, &axes);
+    req.scheme = "warp-drive";
+    let err = run_sweep_supervised(req).expect_err("unknown scheme must be rejected");
+    assert!(matches!(err, SweepError::Spec(_)));
+
+    let req = request(&wl, &[]);
+    let err = run_sweep_supervised(req).expect_err("empty axes must be rejected");
+    assert!(matches!(err, SweepError::Axes(_)));
+}

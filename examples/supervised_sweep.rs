@@ -1,0 +1,76 @@
+//! Supervised sweeps: panic isolation, retries, and checkpoint/resume.
+//!
+//! Walks the three failure stories `fpb sweep` handles (DESIGN.md §11):
+//! a transiently-failing point that a retry rescues, a poisoned point
+//! that is quarantined without aborting the grid, and an interrupted
+//! journaled sweep resumed to a byte-identical final report.
+//!
+//! ```sh
+//! cargo run --release --example supervised_sweep
+//! ```
+
+use fpb::sim::journal::JournalMode;
+use fpb::sim::sweep::{run_sweep_supervised, Axis, PanicInjection, SupervisedSweepRequest};
+use fpb::sim::{CancelToken, SimOptions, SupervisePolicy};
+use fpb::trace::catalog;
+use fpb::trace::Workload;
+use fpb::types::SystemConfig;
+
+fn request<'a>(wl: &'a Workload, axes: &'a [Axis]) -> SupervisedSweepRequest<'a> {
+    SupervisedSweepRequest {
+        workload: wl,
+        base_cfg: SystemConfig::default(),
+        axes,
+        scheme: "fpb",
+        baseline: "dimm-chip",
+        opts: SimOptions::with_instructions(3_000),
+        policy: SupervisePolicy { backoff_base_ms: 1, backoff_cap_ms: 2, ..Default::default() },
+        journal: None,
+        cancel: CancelToken::new(),
+        cancel_after: None,
+        inject_panic: None,
+    }
+}
+
+fn main() {
+    let wl = catalog::workload("cop_m").expect("catalog workload");
+    let axes = vec![Axis::pt_dimm(&[466, 560]), Axis::e_gcp(&[0.6, 0.9])];
+
+    // 1. A point that panics once, with a retry budget: the supervisor
+    //    re-runs it and the sweep still completes every point.
+    let mut req = request(&wl, &axes);
+    req.policy.max_retries = 2;
+    req.inject_panic = Some(PanicInjection { point: 1, attempts: 1 });
+    let run = run_sweep_supervised(req).expect("retried sweep");
+    println!("transient failure:  {} ok, {} retried (grid complete: {})", run.count("ok"), run.count("retried"), run.complete());
+
+    // 2. A point that panics on every attempt: quarantined and reported,
+    //    the other three points finish normally.
+    let mut req = request(&wl, &axes);
+    req.inject_panic = Some(PanicInjection { point: 2, attempts: u32::MAX });
+    let run = run_sweep_supervised(req).expect("quarantine sweep");
+    for q in run.quarantined() {
+        println!("quarantined:        point {} ({}) — {}", q.index, q.label, q.outcome);
+    }
+    println!("despite the panic:  {} ok, {} panicked", run.count("ok"), run.count("panicked"));
+
+    // 3. Checkpoint/resume: journal a run cancelled after two points,
+    //    then resume it; the final JSON is byte-identical to a clean run.
+    let journal = std::env::temp_dir().join("supervised_sweep_example.fpbj");
+    std::fs::remove_file(&journal).ok();
+    let clean = run_sweep_supervised(request(&wl, &axes)).expect("clean run");
+
+    let mut req = request(&wl, &axes);
+    req.journal = Some(JournalMode::Fresh(journal.clone()));
+    req.cancel_after = Some(2);
+    req.policy.jobs = 1;
+    let partial = run_sweep_supervised(req).expect("interrupted run");
+    println!("interrupted run:    {} ok, {} skipped", partial.count("ok"), partial.count("skipped"));
+
+    let mut req = request(&wl, &axes);
+    req.journal = Some(JournalMode::Resume(journal.clone()));
+    let resumed = run_sweep_supervised(req).expect("resumed run");
+    println!("resumed run:        restored {} points from the journal", resumed.restored);
+    println!("byte-identical:     {}", resumed.to_json() == clean.to_json());
+    std::fs::remove_file(&journal).ok();
+}

@@ -7,19 +7,27 @@
 //! cargo run --release --bin fpb -- record --program C.mcf --ops 100000 --out mcf.fpbt
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fpb::analyze::{baseline::Baseline, baseline::check_ratchet, report, scan_root};
-use fpb::cli::{self, Command, LintArgs, RunArgs};
+use fpb::cli::{self, Command, LintArgs, RunArgs, SweepControl};
 use fpb::sim::engine::{run_workload_warmed, warm_cores};
-use fpb::sim::Metrics;
+use fpb::sim::journal::JournalMode;
+use fpb::sim::sweep::{run_sweep_supervised, PanicInjection, SupervisedSweepRequest};
+use fpb::sim::{CancelToken, Metrics, SupervisePolicy};
 use fpb::trace::catalog;
+
+/// Exit code when a sweep finished but left quarantined or skipped
+/// points — distinct from plain failure (1) and CLI misuse (2-ish
+/// parse errors also map to 1 here).
+const EXIT_INCOMPLETE_SWEEP: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match cli::parse(&args) {
         Ok(cmd) => match dispatch(cmd) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -32,11 +40,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(cmd: Command) -> Result<(), String> {
+fn dispatch(cmd: Command) -> Result<ExitCode, String> {
     match cmd {
         Command::Help => {
             println!("{}", cli::USAGE);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::List => {
             println!("workloads (Table 2):");
@@ -49,7 +57,7 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 );
             }
             println!("\nschemes: {}", cli::scheme_names().join(", "));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Record { program, ops, out } => {
             let profile = catalog::program(&program)
@@ -61,12 +69,12 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             let n = fpb::trace::record::write_trace(std::io::BufWriter::new(file), recorded)
                 .map_err(|e| format!("write {out}: {e}"))?;
             println!("recorded {n} operations of {program} to {out}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Run(ra) => {
             if ra.scheme == "help" {
                 print!("{}", fpb::sim::SchemeRegistry::standard().help());
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             let (wl, opts) = resolve(&ra)?;
             let setup = cli::build_scheme(&ra.scheme, &ra).map_err(|e| e.to_string())?;
@@ -76,51 +84,14 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             print_metrics(&setup.label, &m, None);
             print_wear(&m);
             print_faults(&m);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Command::Sweep { args, axes, csv } => {
-            let (wl, opts) = resolve(&args)?;
-            let built: Result<Vec<_>, _> = axes
-                .iter()
-                .map(|(n, vs)| cli::build_axis(n, vs))
-                .collect();
-            // Fold the run flags into the spec and validate it up front
-            // (run_sweep_jobs panics on a bad spec; the CLI reports it as
-            // a plain error instead).
-            let spec = cli::scheme_spec(&args.scheme, &args).map_err(|e| e.to_string())?;
-            let points = fpb::sim::sweep::run_sweep_jobs(
-                &wl,
-                args.cfg.clone(),
-                &built.map_err(|e| e.to_string())?,
-                &spec,
-                "dimm-chip",
-                &opts,
-                cli::effective_jobs(args.jobs),
-            );
-            println!("{:<40} {:>9} {:>9} {:>9}", "point", "speedup", "CPI", "burst%");
-            for p in &points {
-                println!(
-                    "{:<40} {:>9.3} {:>9.2} {:>8.1}%",
-                    p.label,
-                    p.speedup(),
-                    p.metrics.cpi(),
-                    p.metrics.burst_fraction() * 100.0
-                );
-            }
-            if let Some(path) = csv {
-                let file =
-                    std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
-                let mut w = std::io::BufWriter::new(file);
-                fpb::sim::report::write_csv_header(&mut w).map_err(|e| e.to_string())?;
-                for p in &points {
-                    let label = p.label.replace(',', ";");
-                    fpb::sim::report::write_csv_row(&mut w, &label, &p.metrics)
-                        .map_err(|e| e.to_string())?;
-                }
-                println!("\nwrote {} rows to {path}", points.len());
-            }
-            Ok(())
-        }
+        Command::Sweep {
+            args,
+            axes,
+            csv,
+            control,
+        } => run_sweep(&args, &axes, csv.as_deref(), &control),
         Command::Compare(ra) => {
             let (wl, opts) = resolve(&ra)?;
             let cores = warm_cores(&wl, &ra.cfg, &opts);
@@ -146,7 +117,7 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 let baseline: Option<&Metrics> = if i == 0 { None } else { Some(&results[0]) };
                 print_metrics(&setup.label, m, baseline);
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Bench {
             jobs,
@@ -170,6 +141,12 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 "  parallel {:>9.1} ms   ({} jobs, {:.2}x speedup, {:.2} points/sec)",
                 report.parallel_ms, report.jobs, report.speedup, report.points_per_sec
             );
+            for r in &report.scaling {
+                println!(
+                    "  scaling  {:>2} jobs {:>9.1} ms  ({:.2}x, {:.2} points/sec)",
+                    r.jobs, r.ms, r.speedup, r.points_per_sec
+                );
+            }
             println!("  wrote {out}");
             if !report.identical {
                 return Err("parallel sweep metrics diverged from the serial sweep".into());
@@ -213,9 +190,125 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 );
             }
             println!("  write-path equivalence gates: ok");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Command::Lint(la) => run_lint(&la),
+        Command::Lint(la) => run_lint(&la).map(|()| ExitCode::SUCCESS),
+    }
+}
+
+/// Runs the supervised sweep driver: every point is panic-isolated, a
+/// quarantined point does not abort the grid, and a journal makes the
+/// run resumable with byte-identical final output.
+fn run_sweep(
+    args: &RunArgs,
+    axes: &[(String, String)],
+    csv: Option<&str>,
+    control: &SweepControl,
+) -> Result<ExitCode, String> {
+    let (wl, opts) = resolve(args)?;
+    let built: Vec<_> = axes
+        .iter()
+        .map(|(n, vs)| cli::build_axis(n, vs))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    // Fold the run flags into the spec and validate it up front so a bad
+    // spec is a plain CLI error before any simulation work starts.
+    let spec = cli::scheme_spec(&args.scheme, args).map_err(|e| e.to_string())?;
+    let journal = match (&control.journal, &control.resume) {
+        (Some(p), None) => Some(JournalMode::Fresh(PathBuf::from(p))),
+        (None, Some(p)) => Some(JournalMode::Resume(PathBuf::from(p))),
+        _ => None,
+    };
+    let run = run_sweep_supervised(SupervisedSweepRequest {
+        workload: &wl,
+        base_cfg: args.cfg.clone(),
+        axes: &built,
+        scheme: &spec,
+        baseline: "dimm-chip",
+        opts,
+        policy: SupervisePolicy {
+            jobs: cli::effective_jobs(args.jobs),
+            max_retries: control.retries,
+            backoff_base_ms: control.backoff_ms,
+            deadline_ms: control.deadline_ms,
+            ..SupervisePolicy::default()
+        },
+        journal,
+        cancel: CancelToken::new(),
+        cancel_after: control.cancel_after,
+        inject_panic: control
+            .inject_panic
+            .map(|(point, attempts)| PanicInjection { point, attempts }),
+    })
+    .map_err(|e| e.to_string())?;
+
+    println!("{:<40} {:>9} {:>9} {:>9}  status", "point", "speedup", "CPI", "burst%");
+    for rec in &run.points {
+        match rec.stats() {
+            Some(s) => println!(
+                "{:<40} {:>9.3} {:>9.2} {:>8.1}%  {}",
+                rec.label,
+                s.speedup,
+                s.cpi,
+                s.burst_pct,
+                rec.outcome.class()
+            ),
+            None => println!(
+                "{:<40} {:>9} {:>9} {:>9}  {}",
+                rec.label,
+                "-",
+                "-",
+                "-",
+                rec.outcome.class()
+            ),
+        }
+    }
+    let summary = format!(
+        "{} ok, {} retried, {} panicked, {} timed out, {} skipped",
+        run.count("ok"),
+        run.count("retried"),
+        run.count("panicked"),
+        run.count("timed_out"),
+        run.count("skipped")
+    );
+    println!("\noutcomes: {summary}");
+    if run.restored > 0 {
+        println!("restored {} points from the journal", run.restored);
+    }
+    if run.dropped_journal_lines > 0 {
+        println!(
+            "dropped {} corrupt trailing journal lines (truncated on resume)",
+            run.dropped_journal_lines
+        );
+    }
+    for q in run.quarantined() {
+        eprintln!("quarantined point {} ({}): {}", q.index, q.label, q.outcome);
+    }
+
+    if let Some(path) = &control.json_out {
+        std::fs::write(path, run.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = csv {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        fpb::sim::report::write_csv_header(&mut w).map_err(|e| e.to_string())?;
+        let mut rows = 0usize;
+        for rec in &run.points {
+            if let fpb::sim::sweep::PointState::Done(p) = &rec.state {
+                let label = p.label.replace(',', ";");
+                fpb::sim::report::write_csv_row(&mut w, &label, &p.metrics)
+                    .map_err(|e| e.to_string())?;
+                rows += 1;
+            }
+        }
+        println!("wrote {rows} rows to {path}");
+    }
+
+    if run.cancelled || !run.quarantined().is_empty() {
+        Ok(ExitCode::from(EXIT_INCOMPLETE_SWEEP))
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
 }
 

@@ -35,6 +35,8 @@ pub enum Command {
         axes: Vec<(String, String)>,
         /// Optional CSV output path.
         csv: Option<String>,
+        /// Supervision / journal / resume controls.
+        control: SweepControl,
     },
     /// `fpb bench [--jobs N] [--instructions N] [--out FILE]
     /// [--hotpath-out FILE]`
@@ -64,6 +66,47 @@ pub enum Command {
     Lint(LintArgs),
     /// `fpb help`
     Help,
+}
+
+/// Supervision, journaling, and resume controls for `fpb sweep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepControl {
+    /// Start a fresh durable journal at this path (`--journal`).
+    pub journal: Option<String>,
+    /// Resume from an existing journal (`--resume`); mutually exclusive
+    /// with `--journal` and `--csv`.
+    pub resume: Option<String>,
+    /// Write the final `fpb-sweep/v1` JSON document here (`--json-out`).
+    pub json_out: Option<String>,
+    /// Per-point deadline in wall milliseconds (`--deadline-ms`;
+    /// `None` = no watchdog).
+    pub deadline_ms: Option<u64>,
+    /// Retries per panicking point before quarantine (`--retries`).
+    pub retries: u32,
+    /// Base retry backoff in milliseconds (`--backoff-ms`).
+    pub backoff_ms: u64,
+    /// Deterministic fault-injection hook: panic at grid point `.0` for
+    /// the first `.1` attempts (`--inject-panic I[:N]`; `u32::MAX` =
+    /// every attempt). A test/CI hook, not a production flag.
+    pub inject_panic: Option<(usize, u32)>,
+    /// Graceful-cancellation hook: stop admitting new points after this
+    /// many completions (`--cancel-after`).
+    pub cancel_after: Option<usize>,
+}
+
+impl Default for SweepControl {
+    fn default() -> Self {
+        SweepControl {
+            journal: None,
+            resume: None,
+            json_out: None,
+            deadline_ms: None,
+            retries: 0,
+            backoff_ms: 50,
+            inject_panic: None,
+            cancel_after: None,
+        }
+    }
 }
 
 /// Options for `fpb lint`.
@@ -322,6 +365,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut ra = RunArgs::default();
             let mut axes = Vec::new();
             let mut csv = None;
+            let mut control = SweepControl::default();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, CliError> {
                     it.next()
@@ -426,6 +470,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         axes.push((name.to_string(), vals.to_string()));
                     }
                     "--csv" if sub == "sweep" => csv = Some(value("--csv")?),
+                    "--journal" if sub == "sweep" => control.journal = Some(value("--journal")?),
+                    "--resume" if sub == "sweep" => control.resume = Some(value("--resume")?),
+                    "--json-out" if sub == "sweep" => control.json_out = Some(value("--json-out")?),
+                    "--deadline-ms" if sub == "sweep" => {
+                        let ms = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+                        control.deadline_ms = (ms > 0).then_some(ms);
+                    }
+                    "--retries" if sub == "sweep" => {
+                        let n = parse_num(&value("--retries")?, "--retries")?;
+                        control.retries = u32::try_from(n).map_err(|_| {
+                            CliError(format!("--retries must fit in u32, got `{n}`"))
+                        })?;
+                    }
+                    "--backoff-ms" if sub == "sweep" => {
+                        control.backoff_ms = parse_num(&value("--backoff-ms")?, "--backoff-ms")?
+                    }
+                    "--inject-panic" if sub == "sweep" => {
+                        control.inject_panic = Some(parse_inject_panic(&value("--inject-panic")?)?)
+                    }
+                    "--cancel-after" if sub == "sweep" => {
+                        control.cancel_after =
+                            Some(parse_num(&value("--cancel-after")?, "--cancel-after")? as usize)
+                    }
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -439,10 +506,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     if axes.is_empty() {
                         return Err(CliError("sweep requires at least one --axis".into()));
                     }
+                    if control.journal.is_some() && control.resume.is_some() {
+                        return Err(CliError(
+                            "--journal starts a fresh journal and --resume continues one; \
+                             pass exactly one of them"
+                                .into(),
+                        ));
+                    }
+                    if csv.is_some() && control.resume.is_some() {
+                        return Err(CliError(
+                            "--csv needs full per-point metrics, which restored points do \
+                             not carry; use --json-out with --resume"
+                                .into(),
+                        ));
+                    }
                     Ok(Command::Sweep {
                         args: ra,
                         axes,
                         csv,
+                        control,
                     })
                 }
             }
@@ -462,6 +544,25 @@ fn parse_num(s: &str, flag: &str) -> Result<u64, CliError> {
 fn parse_float(s: &str, flag: &str) -> Result<f64, CliError> {
     s.parse()
         .map_err(|_| CliError(format!("{flag} must be a number, got `{s}`")))
+}
+
+/// Parses `--inject-panic I[:N]`: grid point `I`, panicking for the
+/// first `N` attempts (`u32::MAX`, i.e. every attempt, when omitted).
+fn parse_inject_panic(s: &str) -> Result<(usize, u32), CliError> {
+    let (point, attempts) = match s.split_once(':') {
+        None => (s, None),
+        Some((p, n)) => (p, Some(n)),
+    };
+    let point = point
+        .parse::<usize>()
+        .map_err(|_| CliError(format!("--inject-panic point must be an integer, got `{s}`")))?;
+    let attempts = match attempts {
+        None => u32::MAX,
+        Some(n) => n.parse::<u32>().map_err(|_| {
+            CliError(format!("--inject-panic attempts must fit in u32, got `{s}`"))
+        })?,
+    };
+    Ok((point, attempts))
 }
 
 fn parse_jobs(s: &str) -> Result<usize, CliError> {
@@ -514,7 +615,10 @@ fpb — fine-grained power budgeting for MLC PCM (MICRO 2012 reproduction)
 USAGE:
   fpb run     --workload <name> --scheme <spec> [options]
   fpb compare --workload <name> [options]
-  fpb sweep   --workload <name> --axis <name=v1,v2,..> [--axis ..] [--csv out.csv] [options]
+  fpb sweep   --workload <name> --axis <name=v1,v2,..> [--axis ..] [--csv out.csv]
+              [--journal <file> | --resume <file>] [--json-out <file>]
+              [--retries <n>] [--backoff-ms <n>] [--deadline-ms <n>]
+              [--cancel-after <n>] [options]
   fpb bench   [--jobs <n>] [--instructions <n>] [--out BENCH_sweep.json]
               [--hotpath-out BENCH_hotpath.json]
   fpb list
@@ -533,6 +637,26 @@ PARALLELISM:
   --jobs <n>           worker threads for sweep points / compare schemes
                        [machine parallelism]; results are bit-for-bit
                        identical to --jobs 1, in the same order
+
+SWEEP SUPERVISION: every sweep point runs supervised — a panicking point
+  is quarantined (reported with its panic message) without aborting the
+  rest of the grid, and the run exits with code 3 when any point was
+  quarantined or the sweep was cancelled.
+  --retries <n>        re-run a panicking point up to n times before
+                       quarantining it [0]
+  --backoff-ms <n>     base retry backoff (doubles per retry, capped) [50]
+  --deadline-ms <n>    per-point wall-clock deadline; an overdue point is
+                       marked timed-out and the grid continues [0 = off]
+  --journal <file>     append each finished point to a durable, fsync'd,
+                       checksummed journal (refuses to clobber)
+  --resume <file>      skip points already in the journal and finish the
+                       rest; the final JSON is byte-identical to an
+                       uninterrupted run
+  --json-out <file>    write the full fpb-sweep/v1 JSON document
+  --cancel-after <n>   stop admitting new points after n completions (the
+                       deterministic stand-in for Ctrl-C in tests/CI)
+  --inject-panic I[:N] test hook: panic at grid point I for its first N
+                       attempts (every attempt when :N is omitted)
 
 BENCH: runs a pinned 3x3 sweep grid (pt-dimm x e-gcp on mcf_m) serially
   and in parallel, checks the results match bit-for-bit, and writes wall
@@ -717,13 +841,20 @@ mod tests {
             "/tmp/out.csv",
         ]))
         .unwrap();
-        let Command::Sweep { args, axes, csv } = cmd else {
+        let Command::Sweep {
+            args,
+            axes,
+            csv,
+            control,
+        } = cmd
+        else {
             panic!("expected Sweep")
         };
         assert_eq!(args.workload, "lbm_m");
         assert_eq!(axes.len(), 2);
         assert_eq!(axes[0], ("pt-dimm".into(), "466,560".into()));
         assert_eq!(csv.as_deref(), Some("/tmp/out.csv"));
+        assert_eq!(control, SweepControl::default());
         // Axes resolve.
         for (n, vs) in &axes {
             assert!(build_axis(n, vs).is_ok());
@@ -804,6 +935,85 @@ mod tests {
     fn sweep_requires_axes() {
         assert!(parse(&v(&["sweep", "--workload", "lbm_m"])).is_err());
         assert!(parse(&v(&["sweep", "--axis", "nope"])).is_err());
+    }
+
+    #[test]
+    fn sweep_supervision_flags_parse() {
+        let cmd = parse(&v(&[
+            "sweep",
+            "--axis",
+            "pt-dimm=466,560",
+            "--journal",
+            "/tmp/run.fpbj",
+            "--json-out",
+            "/tmp/run.json",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "10",
+            "--deadline-ms",
+            "30000",
+            "--cancel-after",
+            "3",
+            "--inject-panic",
+            "1:2",
+        ]))
+        .unwrap();
+        let Command::Sweep { control, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(control.journal.as_deref(), Some("/tmp/run.fpbj"));
+        assert_eq!(control.resume, None);
+        assert_eq!(control.json_out.as_deref(), Some("/tmp/run.json"));
+        assert_eq!(control.retries, 2);
+        assert_eq!(control.backoff_ms, 10);
+        assert_eq!(control.deadline_ms, Some(30_000));
+        assert_eq!(control.cancel_after, Some(3));
+        assert_eq!(control.inject_panic, Some((1, 2)));
+    }
+
+    #[test]
+    fn sweep_deadline_zero_means_off_and_inject_defaults_to_every_attempt() {
+        let cmd = parse(&v(&[
+            "sweep",
+            "--axis",
+            "pt-dimm=466",
+            "--deadline-ms",
+            "0",
+            "--inject-panic",
+            "2",
+        ]))
+        .unwrap();
+        let Command::Sweep { control, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(control.deadline_ms, None);
+        assert_eq!(control.inject_panic, Some((2, u32::MAX)));
+    }
+
+    #[test]
+    fn sweep_rejects_conflicting_journal_flags() {
+        let base = ["sweep", "--axis", "pt-dimm=466"];
+        let both: Vec<&str> = base
+            .iter()
+            .chain(&["--journal", "a.fpbj", "--resume", "b.fpbj"])
+            .copied()
+            .collect();
+        let e = parse(&v(&both)).unwrap_err();
+        assert!(e.0.contains("exactly one"), "{e}");
+        let csv_resume: Vec<&str> = base
+            .iter()
+            .chain(&["--resume", "a.fpbj", "--csv", "out.csv"])
+            .copied()
+            .collect();
+        let e = parse(&v(&csv_resume)).unwrap_err();
+        assert!(e.0.contains("--json-out"), "{e}");
+        // The supervision flags belong to sweep only.
+        assert!(parse(&v(&["run", "--resume", "a.fpbj"])).is_err());
+        assert!(parse(&v(&["run", "--retries", "1"])).is_err());
+        // Bad inject-panic specs name the flag.
+        assert!(parse(&v(&["sweep", "--axis", "pt-dimm=466", "--inject-panic", "x"])).is_err());
+        assert!(parse(&v(&["sweep", "--axis", "pt-dimm=466", "--inject-panic", "1:y"])).is_err());
     }
 
     #[test]

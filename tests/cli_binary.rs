@@ -63,6 +63,185 @@ fn bad_arguments_fail_with_diagnostics() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 }
 
+const SWEEP_ARGS: [&str; 8] = [
+    "sweep",
+    "--workload",
+    "cop_m",
+    "--instructions",
+    "3000",
+    "--axis",
+    "pt-dimm=466,560",
+    "--jobs",
+];
+
+fn sweep_cmd(jobs: &str, extra: &[&str]) -> Command {
+    let mut c = fpb();
+    c.args(SWEEP_ARGS).arg(jobs).args(extra);
+    c
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fpb-cli-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = dir.join(name);
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+#[test]
+fn injected_panic_quarantines_then_resume_restores_byte_identity() {
+    let clean_json = tmp("cli_clean.json");
+    let out = sweep_cmd("2", &["--json-out", clean_json.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Inject a deterministic panic at point 1: the grid still finishes,
+    // the point is quarantined, and the exit code flags the incomplete run.
+    let journal = tmp("cli_crash.fpbj");
+    let crash_json = tmp("cli_crash.json");
+    let out = sweep_cmd(
+        "2",
+        &[
+            "--inject-panic",
+            "1",
+            "--journal",
+            journal.to_str().expect("utf8"),
+            "--json-out",
+            crash_json.to_str().expect("utf8"),
+        ],
+    )
+    .output()
+    .expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "quarantine must exit 3");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 panicked"), "stdout: {text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quarantined point 1"), "stderr: {err}");
+    assert!(err.contains("injected panic at point 1"), "stderr: {err}");
+    let crash_doc = std::fs::read_to_string(&crash_json).expect("crash json");
+    assert!(crash_doc.contains("\"class\": \"panicked\""), "{crash_doc}");
+
+    // Resume without the injection: the healthy point is restored from
+    // the journal, only the quarantined one reruns, and the final JSON
+    // is byte-identical to the uninterrupted run's.
+    let resumed_json = tmp("cli_resumed.json");
+    let out = sweep_cmd(
+        "2",
+        &[
+            "--resume",
+            journal.to_str().expect("utf8"),
+            "--json-out",
+            resumed_json.to_str().expect("utf8"),
+        ],
+    )
+    .output()
+    .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("restored 1 points"), "stdout: {text}");
+    let clean = std::fs::read(&clean_json).expect("clean json");
+    let resumed = std::fs::read(&resumed_json).expect("resumed json");
+    assert_eq!(clean, resumed, "resume must render byte-identical JSON");
+    for p in [&clean_json, &journal, &crash_json, &resumed_json] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn killed_mid_sweep_then_resume_matches_a_clean_run() {
+    use std::io::Read as _;
+    use std::time::{Duration, Instant};
+
+    let clean_json = tmp("cli_kill_clean.json");
+    let out = sweep_cmd("1", &["--json-out", clean_json.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Start a journaled sweep with a longer run, wait until the journal
+    // holds at least one durable record, then kill the process outright
+    // (SIGKILL — no handler could run even if one existed).
+    let journal = tmp("cli_kill.fpbj");
+    let mut child = fpb()
+        .args([
+            "sweep",
+            "--workload",
+            "cop_m",
+            "--instructions",
+            "60000",
+            "--axis",
+            "pt-dimm=466,560",
+            "--jobs",
+            "1",
+            "--journal",
+        ])
+        .arg(&journal)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn journaled sweep");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let records = std::fs::read_to_string(&journal)
+            .map(|s| s.lines().filter(|l| l.contains(" r ")).count())
+            .unwrap_or(0);
+        if records >= 1 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            let mut err = String::new();
+            if let Some(mut s) = child.stderr.take() {
+                s.read_to_string(&mut err).ok();
+            }
+            panic!("sweep exited ({status}) before journaling a record: {err}");
+        }
+        assert!(Instant::now() < deadline, "no journal record within 120s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill");
+    child.wait().expect("wait");
+
+    // The interrupted run's instruction budget differs from the clean
+    // run's, so resuming it must be refused as a different sweep...
+    let out = sweep_cmd("1", &["--resume", journal.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different sweep"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // ...while resuming with the matching parameters completes the grid.
+    let resumed_json = tmp("cli_kill_resumed.json");
+    let out = fpb()
+        .args([
+            "sweep",
+            "--workload",
+            "cop_m",
+            "--instructions",
+            "60000",
+            "--axis",
+            "pt-dimm=466,560",
+            "--jobs",
+            "1",
+            "--resume",
+        ])
+        .arg(&journal)
+        .args(["--json-out", resumed_json.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let resumed = std::fs::read_to_string(&resumed_json).expect("resumed json");
+    assert!(resumed.contains("\"skipped\": 0"), "{resumed}");
+    assert!(resumed.contains("\"panicked\": 0"), "{resumed}");
+    for p in [&clean_json, &journal, &resumed_json] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
 #[test]
 fn record_writes_a_replayable_trace() {
     let dir = std::env::temp_dir().join("fpb-cli-test");
