@@ -53,6 +53,6 @@ pub mod manager;
 pub mod stats;
 
 pub use config::{GcpParams, PowerPolicyConfig, SchemeKind};
-pub use ledger::{BrownoutHold, Grant, Ledger};
+pub use ledger::{BrownoutHold, Grant, GrantScratch, Ledger};
 pub use manager::{PowerManager, WriteId};
 pub use stats::PowerStats;

@@ -56,9 +56,15 @@ pub mod supervise;
 pub mod sweep;
 pub mod timeline;
 
-pub use bench::{run_fixed_bench, run_hotpath_bench, BenchReport, HotpathReport};
-pub use engine::{run_workload, try_run_workload, SimOptions, System};
-pub use exec::{default_jobs, parallel_map_indexed, try_parallel_map_indexed, WorkerPanic};
+pub use bench::{
+    required_speedup, run_fixed_bench, run_fixed_bench_repeats, run_hotpath_bench, BenchReport,
+    EfficiencyGate, HotpathReport,
+};
+pub use engine::{run_workload, try_run_workload, SimArena, SimOptions, System};
+pub use exec::{
+    default_jobs, effective_workers, parallel_map_arena, parallel_map_indexed, schedule_by_cost,
+    try_parallel_map_arena, try_parallel_map_indexed, WorkerPanic,
+};
 pub use journal::{JournalError, JournalHeader, JournalWriter};
 pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};

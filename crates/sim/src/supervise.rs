@@ -252,9 +252,21 @@ struct WorkerCtx<T, R, F> {
     f: Arc<F>,
     slots: Arc<Vec<Mutex<Slot>>>,
     next: Arc<AtomicUsize>,
+    /// Execution-order permutation: cursor position `k` runs item
+    /// `schedule[k]`. `None` = input order. Results and outcomes are
+    /// always reported by *item* index, so the schedule is invisible in
+    /// the output — it only changes which jobs start first.
+    schedule: Arc<Option<Vec<usize>>>,
     cancel: CancelToken,
     policy: SupervisePolicy,
     tx: Sender<Event<R>>,
+}
+
+impl<T, R, F> WorkerCtx<T, R, F> {
+    /// The item index at cursor position `k`.
+    fn item_at(&self, k: usize) -> usize {
+        self.schedule.as_ref().as_ref().map_or(k, |s| s[k])
+    }
 }
 
 impl<T, R, F> Clone for WorkerCtx<T, R, F> {
@@ -264,6 +276,7 @@ impl<T, R, F> Clone for WorkerCtx<T, R, F> {
             f: Arc::clone(&self.f),
             slots: Arc::clone(&self.slots),
             next: Arc::clone(&self.next),
+            schedule: Arc::clone(&self.schedule),
             cancel: self.cancel.clone(),
             policy: self.policy,
             tx: self.tx.clone(),
@@ -298,6 +311,28 @@ pub fn supervise_map<T, R, F>(
     policy: &SupervisePolicy,
     cancel: &CancelToken,
     f: F,
+    on_complete: impl FnMut(usize, &R),
+) -> SuperviseReport<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    supervise_map_ordered(items, policy, cancel, None, f, on_complete)
+}
+
+/// [`supervise_map`] with an explicit execution order: cursor position
+/// `k` runs item `order[k]`, so callers can start expensive items first
+/// (the sweep passes a descending-cost schedule). Results, outcomes, and
+/// `on_complete` indices are always by *item* index — the order changes
+/// scheduling, never output. An `order` that is not a permutation of
+/// `0..items.len()` (wrong length) is ignored in favor of input order.
+pub fn supervise_map_ordered<T, R, F>(
+    items: Vec<T>,
+    policy: &SupervisePolicy,
+    cancel: &CancelToken,
+    order: Option<Vec<usize>>,
+    f: F,
     mut on_complete: impl FnMut(usize, &R),
 ) -> SuperviseReport<R>
 where
@@ -313,17 +348,21 @@ where
             cancelled: cancel.is_cancelled(),
         };
     }
+    let schedule = order.filter(|o| o.len() == n);
     let (tx, rx) = channel::<Event<R>>();
     let ctx = WorkerCtx {
         items: Arc::new(items),
         f: Arc::new(f),
         slots: Arc::new((0..n).map(|_| Mutex::new(Slot::Idle)).collect()),
         next: Arc::new(AtomicUsize::new(0)),
+        schedule: Arc::new(schedule),
         cancel: cancel.clone(),
         policy: *policy,
         tx,
     };
-    let workers = policy.jobs.max(1).min(n);
+    // Clamp to the machine's cores like the unsupervised pool does:
+    // oversubscribed simulation threads only timeslice, never help.
+    let workers = crate::exec::effective_workers(policy.jobs, n);
     for _ in 0..workers {
         spawn_worker(ctx.clone());
     }
@@ -437,10 +476,11 @@ where
 {
     std::thread::spawn(move || {
         loop {
-            let i = ctx.next.fetch_add(1, Ordering::Relaxed);
-            if i >= ctx.items.len() {
+            let k = ctx.next.fetch_add(1, Ordering::Relaxed);
+            if k >= ctx.items.len() {
                 return;
             }
+            let i = ctx.item_at(k);
             if ctx.cancel.is_cancelled() {
                 // Admission stopped: resolve the claimed slot as skipped
                 // and keep draining the cursor so the collector finishes

@@ -7,16 +7,17 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use fpb_types::SystemConfig;
 
-use crate::engine::{run_workload_warmed, warm_cores, SimOptions};
-use crate::exec::parallel_map_indexed;
+use crate::engine::{run_workload_warmed_arena, warm_cores, SimArena, SimOptions};
+use crate::exec::{parallel_map_arena, parallel_map_indexed};
+use crate::frontend::CoreState;
 use crate::journal::{fingerprint64, JournalError, JournalHeader, JournalMode, JournalWriter};
 use crate::metrics::{json_string, Metrics};
 use crate::scheme::{SchemeRegistry, SchemeSetup, SchemeSpec};
-use crate::supervise::{supervise_map, CancelToken, JobOutcome, SupervisePolicy};
+use crate::supervise::{supervise_map_ordered, CancelToken, JobOutcome, SupervisePolicy};
 use fpb_trace::Workload;
 
 /// One labeled variant of an axis: a point label and the configuration
@@ -175,6 +176,18 @@ pub fn run_sweep(
 /// same odometer order — `jobs` only changes wall-clock time. With
 /// `jobs <= 1` the grid runs inline on the caller's thread.
 ///
+/// Three scheduling optimizations apply at any worker count, none of
+/// which can change results (all are allocation/ordering-only; the
+/// jobs-invariance tests enforce this):
+///
+/// - Warmed cores are deduplicated: points whose configs produce the
+///   same warm state (see [`warm_key`]'s inputs) share one warm set.
+/// - Each worker carries a [`SimArena`], so the write path's pools are
+///   primed once per worker instead of once per point.
+/// - Points execute in descending estimated-cost order
+///   ([`point_cost`]), longest first, so a slow point claimed late
+///   cannot strand the pool past the end of the grid.
+///
 /// # Panics
 ///
 /// Panics if `axes` is empty, either scheme spec does not resolve, or any
@@ -208,18 +221,94 @@ pub fn run_sweep_jobs(
         // fpb-lint: allow(panic_freedom) — documented `# Panics` contract.
         Err(e) => panic!("{e}"),
     };
-    parallel_map_indexed(&grid, jobs, |_, (label, cfg)| {
-        let cores = warm_cores(workload, cfg, opts);
-        let baseline = build_spec(registry, &baseline_spec, cfg);
-        let scheme = build_spec(registry, &scheme_spec, cfg);
-        let base = run_workload_warmed(workload, cfg, &baseline, opts, &cores);
-        let m = run_workload_warmed(workload, cfg, &scheme, opts, &cores);
-        SweepPoint {
-            label: format!("{} [{}]", label, scheme.label),
-            metrics: m,
-            baseline: base,
+    let all_needed = vec![true; grid.len()];
+    let warm = warm_shared(workload, &grid, opts, jobs, &all_needed);
+    let costs: Vec<u64> = grid.iter().map(|(_, cfg)| point_cost(cfg, opts)).collect();
+    parallel_map_arena(
+        &grid,
+        jobs,
+        Some(&costs),
+        |_slot| SimArena::default(),
+        |arena, i, (label, cfg)| {
+            let cores = &warm.sets[warm.of_point[i]];
+            let baseline = build_spec(registry, &baseline_spec, cfg);
+            let scheme = build_spec(registry, &scheme_spec, cfg);
+            let base = run_workload_warmed_arena(workload, cfg, &baseline, opts, cores, arena);
+            let m = run_workload_warmed_arena(workload, cfg, &scheme, opts, cores, arena);
+            SweepPoint {
+                label: format!("{} [{}]", label, scheme.label),
+                metrics: m,
+                baseline: base,
+            }
+        },
+    )
+}
+
+/// Static cost estimate for one grid point: instruction budget scaled by
+/// the line's cell count (wider lines mean more sampled cells, more
+/// write rounds, and more token-planning work per write). Only the
+/// *relative* order matters — the scheduler sorts by it, nothing sums it.
+pub fn point_cost(cfg: &SystemConfig, opts: &SimOptions) -> u64 {
+    opts.instructions_per_core
+        .max(1)
+        .saturating_mul(cfg.pcm.cells_per_line() as u64)
+}
+
+/// Fingerprint of everything that determines warmed-core state for a
+/// grid point: the cache geometry, core count, seed, and the warm-up
+/// options. Axes that only touch the power budget (`pt_dimm`, `e_gcp`)
+/// leave this unchanged — on such grids a sweep needs one warm set per
+/// distinct line geometry, not one per point.
+fn warm_key(cfg: &SystemConfig, opts: &SimOptions) -> u64 {
+    fingerprint64(&format!(
+        "{:?}|{}|{}|{:?}|{}",
+        cfg.cache, cfg.cores, cfg.seed, opts.warmup_accesses, opts.full_hierarchy
+    ))
+}
+
+/// Deduplicated warm sets for a grid: `sets[of_point[i]]` is point `i`'s
+/// warmed cores. Points whose `needed` flag is false (e.g. already
+/// restored from a journal) don't force a warm-up; a key needed by no
+/// point gets an empty placeholder set that is never read.
+struct WarmSets {
+    sets: Vec<Arc<Vec<CoreState>>>,
+    of_point: Vec<usize>,
+}
+
+/// Builds the deduplicated warm sets, warming distinct keys in parallel
+/// (warming is deterministic — see [`warm_cores`] — so sharing a set
+/// across points is bit-for-bit identical to warming per point).
+fn warm_shared(
+    workload: &Workload,
+    grid: &[(String, SystemConfig)],
+    opts: &SimOptions,
+    jobs: usize,
+    needed: &[bool],
+) -> WarmSets {
+    let mut of_point = Vec::with_capacity(grid.len());
+    // (key, representative grid index, any point needs it)
+    let mut distinct: Vec<(u64, usize, bool)> = Vec::new();
+    for (i, (_, cfg)) in grid.iter().enumerate() {
+        let key = warm_key(cfg, opts);
+        match distinct.iter().position(|&(k, _, _)| k == key) {
+            Some(p) => {
+                of_point.push(p);
+                distinct[p].2 |= needed[i];
+            }
+            None => {
+                of_point.push(distinct.len());
+                distinct.push((key, i, needed[i]));
+            }
         }
-    })
+    }
+    let sets = parallel_map_indexed(&distinct, jobs, |_, &(_, rep, need)| {
+        if need {
+            Arc::new(warm_cores(workload, &grid[rep].1, opts))
+        } else {
+            Arc::new(Vec::new())
+        }
+    });
+    WarmSets { sets, of_point }
 }
 
 /// Parses a sweep scheme spec, upholding the sweep API's documented
@@ -710,6 +799,43 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
     let item_labels: Vec<String> =
         items.iter().map(|(_, l, _)| format!("{l} [{}]", scheme_setup.label)).collect();
 
+    // Warm-set dedup over the *pending* points only — a key whose every
+    // point was restored from the journal never pays a warm-up.
+    let mut needed = vec![false; n];
+    for &i in &item_indices {
+        needed[i] = true;
+    }
+    let warm = Arc::new(warm_shared(req.workload, &grid, &req.opts, req.policy.jobs, &needed));
+
+    // Execution costs: static estimate, refined by measured cycle counts
+    // from journal-restored points sharing the same warm key (same line
+    // geometry ⇒ comparable per-point work). The schedule orders the
+    // pending items descending by cost; it cannot change results or the
+    // report order, both of which are keyed by grid index.
+    let mut cycles_sum = vec![0u64; warm.sets.len()];
+    let mut cycles_cnt = vec![0u64; warm.sets.len()];
+    for (i, frag) in restored_frag.iter().enumerate() {
+        let Some(frag) = frag else { continue };
+        if let (Some(c), Some(b)) = (
+            fragment_u64(frag, Section::Metrics, "cycles"),
+            fragment_u64(frag, Section::Baseline, "cycles"),
+        ) {
+            let k = warm.of_point[i];
+            cycles_sum[k] = cycles_sum[k].saturating_add(c.saturating_add(b));
+            cycles_cnt[k] += 1;
+        }
+    }
+    let item_costs: Vec<u64> = items
+        .iter()
+        .map(|(i, _, cfg)| {
+            let k = warm.of_point[*i];
+            cycles_sum[k]
+                .checked_div(cycles_cnt[k])
+                .unwrap_or_else(|| point_cost(cfg, &req.opts))
+        })
+        .collect();
+    let schedule = crate::exec::schedule_by_cost(&item_costs);
+
     let workload = req.workload.clone();
     let opts = req.opts;
     let job_scheme = scheme_spec.clone();
@@ -722,6 +848,13 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
     let cancel_after = req.cancel_after;
     let completed_this_run = Arc::new(AtomicU32::new(0));
     let job_cancel = req.cancel.clone();
+    // Per-worker arenas, checkout-stack style: the supervisor shares one
+    // `Fn` across workers, so arenas are popped for a run and pushed
+    // back after. A panicked attempt simply drops its arena (the next
+    // checkout starts fresh) — retry-safety is untouched, and arena
+    // reuse is results-neutral by construction (see `SimArena`).
+    let arenas: Arc<Mutex<Vec<SimArena>>> = Arc::new(Mutex::new(Vec::new()));
+    let job_warm = Arc::clone(&warm);
     let job = move |_slot: usize, item: &(usize, String, SystemConfig)| -> (usize, SweepPoint) {
         let (grid_index, label, cfg) = item;
         if let Some(inj) = inject {
@@ -734,11 +867,18 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
             }
         }
         let registry = SchemeRegistry::standard();
-        let cores = warm_cores(&workload, cfg, &opts);
+        let cores = &job_warm.sets[job_warm.of_point[*grid_index]];
+        let mut arena = match arenas.lock() {
+            Ok(mut stack) => stack.pop().unwrap_or_default(),
+            Err(_) => SimArena::default(),
+        };
         let baseline = build_spec(registry, &job_baseline, cfg);
         let scheme = build_spec(registry, &job_scheme, cfg);
-        let base = run_workload_warmed(&workload, cfg, &baseline, &opts, &cores);
-        let m = run_workload_warmed(&workload, cfg, &scheme, &opts, &cores);
+        let base = run_workload_warmed_arena(&workload, cfg, &baseline, &opts, cores, &mut arena);
+        let m = run_workload_warmed_arena(&workload, cfg, &scheme, &opts, cores, &mut arena);
+        if let Ok(mut stack) = arenas.lock() {
+            stack.push(arena);
+        }
         let point = SweepPoint {
             label: format!("{label} [{}]", scheme.label),
             metrics: m,
@@ -756,10 +896,11 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
     // sweep (running unjournaled would betray the --journal contract).
     let mut journal_failure: Option<JournalError> = None;
     let cancel = req.cancel.clone();
-    let report = supervise_map(
+    let report = supervise_map_ordered(
         items,
         &req.policy,
         &req.cancel,
+        Some(schedule),
         job,
         |_slot, (grid_index, point): &(usize, SweepPoint)| {
             if journal_failure.is_some() {

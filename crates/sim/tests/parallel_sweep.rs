@@ -97,3 +97,21 @@ fn more_jobs_than_points_matches_serial() {
     let parallel = sweep(&cfg, 32);
     assert_identical(&serial, &parallel, "jobs > points");
 }
+
+#[test]
+fn cost_schedule_is_results_invariant() {
+    // A line-bytes axis gives the grid genuinely non-uniform cost
+    // estimates (cells_per_line scales 4x across it), so the cost-aware
+    // scheduler claims points far from input order — and the output must
+    // not notice.
+    let wl = catalog::workload("mcf_m").expect("catalog workload");
+    let opts = SimOptions::with_instructions(1_500);
+    let axes = vec![Axis::line_bytes(&[64, 256]), Axis::e_gcp(&[0.6, 0.9])];
+    let cfg = SystemConfig::default().with_seed(5);
+    let serial = run_sweep_jobs(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, 1);
+    assert_eq!(serial.len(), 4, "2x2 grid");
+    for jobs in [2, 4] {
+        let parallel = run_sweep_jobs(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, jobs);
+        assert_identical(&serial, &parallel, &format!("line-bytes grid, jobs {jobs}"));
+    }
+}

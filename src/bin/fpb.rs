@@ -122,16 +122,21 @@ fn dispatch(cmd: Command) -> Result<ExitCode, String> {
         Command::Bench {
             jobs,
             instructions,
+            repeats,
             out,
             hotpath_out,
         } => {
             let jobs = cli::effective_jobs(jobs);
-            let report = fpb::sim::run_fixed_bench(jobs, instructions)
+            let report = fpb::sim::run_fixed_bench_repeats(jobs, instructions, repeats)
                 .ok_or("bench workload missing from the catalog")?;
             std::fs::write(&out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
             println!(
-                "bench: {} points on {} ({} instructions/core)",
-                report.points, report.workload, report.instructions_per_core
+                "bench: {} points on {} ({} instructions/core, min of {} passes, {} cores detected)",
+                report.points,
+                report.workload,
+                report.instructions_per_core,
+                report.repeats,
+                report.detected_cores
             );
             println!(
                 "  serial   {:>9.1} ms   ({:.0} sim cycles/sec)",
@@ -147,11 +152,26 @@ fn dispatch(cmd: Command) -> Result<ExitCode, String> {
                     r.jobs, r.ms, r.speedup, r.points_per_sec
                 );
             }
+            let eff = &report.efficiency;
+            println!(
+                "  efficiency gate: {:.2}x at {} jobs ({} effective workers, floor {:.2}x) -> {}",
+                eff.actual_speedup,
+                eff.jobs,
+                eff.effective_workers,
+                eff.required_speedup,
+                if eff.passed() { "ok" } else { "FAIL" }
+            );
             println!("  wrote {out}");
             if !report.identical {
                 return Err("parallel sweep metrics diverged from the serial sweep".into());
             }
             println!("  parallel metrics identical to serial: ok");
+            if !report.efficiency.passed() {
+                return Err(format!(
+                    "parallel efficiency below the floor: {:.2}x at {} effective workers (need {:.2}x)",
+                    eff.actual_speedup, eff.effective_workers, eff.required_speedup
+                ));
+            }
 
             let hot = fpb::sim::run_hotpath_bench(instructions)
                 .ok_or("bench workload missing from the catalog")?;

@@ -38,14 +38,16 @@ pub enum Command {
         /// Supervision / journal / resume controls.
         control: SweepControl,
     },
-    /// `fpb bench [--jobs N] [--instructions N] [--out FILE]
-    /// [--hotpath-out FILE]`
+    /// `fpb bench [--jobs N] [--instructions N] [--repeats N]
+    /// [--out FILE] [--hotpath-out FILE]`
     Bench {
         /// Worker threads for the parallel pass (`None` = machine
         /// parallelism).
         jobs: Option<usize>,
         /// Per-core instruction budget of each grid run.
         instructions: u64,
+        /// Timed passes per scaling-ladder rung (minimum kept).
+        repeats: u32,
         /// Output path for the sweep JSON report.
         out: String,
         /// Output path for the write-path (hot-path) JSON report.
@@ -306,6 +308,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "bench" => {
             let mut jobs = None;
             let mut instructions = fpb_sim::bench::BENCH_INSTRUCTIONS;
+            let mut repeats = fpb_sim::bench::BENCH_REPEATS;
             let mut out = "BENCH_sweep.json".to_string();
             let mut hotpath_out = "BENCH_hotpath.json".to_string();
             while let Some(flag) = it.next() {
@@ -319,6 +322,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--instructions" => {
                         instructions = parse_num(&value("--instructions")?, "--instructions")?
                     }
+                    "--repeats" => {
+                        let n: u64 = parse_num(&value("--repeats")?, "--repeats")?;
+                        if n == 0 || n > u64::from(u32::MAX) {
+                            return Err(CliError("--repeats must be between 1 and 2^32-1".into()));
+                        }
+                        repeats = n as u32;
+                    }
                     "--out" => out = value("--out")?,
                     "--hotpath-out" => hotpath_out = value("--hotpath-out")?,
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
@@ -327,6 +337,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Bench {
                 jobs,
                 instructions,
+                repeats,
                 out,
                 hotpath_out,
             })
@@ -619,8 +630,8 @@ USAGE:
               [--journal <file> | --resume <file>] [--json-out <file>]
               [--retries <n>] [--backoff-ms <n>] [--deadline-ms <n>]
               [--cancel-after <n>] [options]
-  fpb bench   [--jobs <n>] [--instructions <n>] [--out BENCH_sweep.json]
-              [--hotpath-out BENCH_hotpath.json]
+  fpb bench   [--jobs <n>] [--instructions <n>] [--repeats <n>]
+              [--out BENCH_sweep.json] [--hotpath-out BENCH_hotpath.json]
   fpb list
   fpb record  --program <C.mcf|...> --ops <n> --out <file.fpbt>
   fpb lint    [--format text|json] [--out <file>] [--update-baseline] [--rules]
@@ -658,15 +669,19 @@ SWEEP SUPERVISION: every sweep point runs supervised — a panicking point
   --inject-panic I[:N] test hook: panic at grid point I for its first N
                        attempts (every attempt when :N is omitted)
 
-BENCH: runs a pinned 3x3 sweep grid (pt-dimm x e-gcp on mcf_m) serially
-  and in parallel, checks the results match bit-for-bit, and writes wall
-  time, points/sec, speedup, and sim cycles/sec to BENCH_sweep.json.
-  Then races the optimized write path (word-level change sampling,
-  pooled buffers, event-heap stepper) against the pre-optimization
-  reference path and writes BENCH_hotpath.json. Exits nonzero if
-  parallel and serial metrics diverge, if the heap stepper or buffer
-  pool fails bit-for-bit equivalence, or if the word-level sampler
-  drifts from the per-bit reference.
+BENCH: runs a pinned 36-point sweep grid (line-bytes x pt-dimm x e-gcp
+  on mcf_m) up a 1/2/4-job scaling ladder (--repeats timed passes per
+  rung, minimum kept, after an untimed warmup pass), checks every rung
+  matches serial bit-for-bit, and writes wall time, points/sec, the
+  detected core count, the scaling curve, and the parallel-efficiency
+  gate to BENCH_sweep.json. Then races the optimized write path
+  (word-level change sampling, pooled buffers, event-heap stepper)
+  against the pre-optimization reference path and writes
+  BENCH_hotpath.json. Exits nonzero if parallel and serial metrics
+  diverge, if the 4-job rung misses the efficiency floor for the
+  machine's core count, if the heap stepper or buffer pool fails
+  bit-for-bit equivalence, or if the word-level sampler drifts from the
+  per-bit reference.
 
 OPTIONS (run/compare):
   --instructions <n>   instructions per core        [200000]
@@ -893,6 +908,7 @@ mod tests {
         let Command::Bench {
             jobs,
             instructions,
+            repeats,
             out,
             hotpath_out,
         } = parse(&v(&["bench"])).unwrap()
@@ -901,11 +917,13 @@ mod tests {
         };
         assert_eq!(jobs, None);
         assert_eq!(instructions, fpb_sim::bench::BENCH_INSTRUCTIONS);
+        assert_eq!(repeats, fpb_sim::bench::BENCH_REPEATS);
         assert_eq!(out, "BENCH_sweep.json");
         assert_eq!(hotpath_out, "BENCH_hotpath.json");
         let Command::Bench {
             jobs,
             instructions,
+            repeats,
             out,
             hotpath_out,
         } = parse(&v(&[
@@ -914,6 +932,8 @@ mod tests {
             "8",
             "--instructions",
             "10_000",
+            "--repeats",
+            "3",
             "--out",
             "/tmp/b.json",
             "--hotpath-out",
@@ -925,10 +945,12 @@ mod tests {
         };
         assert_eq!(jobs, Some(8));
         assert_eq!(instructions, 10_000);
+        assert_eq!(repeats, 3);
         assert_eq!(out, "/tmp/b.json");
         assert_eq!(hotpath_out, "/tmp/h.json");
         assert!(parse(&v(&["bench", "--bogus"])).is_err());
         assert!(parse(&v(&["bench", "--jobs", "0"])).is_err());
+        assert!(parse(&v(&["bench", "--repeats", "0"])).is_err());
     }
 
     #[test]

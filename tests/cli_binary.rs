@@ -215,6 +215,9 @@ fn killed_mid_sweep_then_resume_matches_a_clean_run() {
     );
 
     // ...while resuming with the matching parameters completes the grid.
+    // The resume deliberately runs under --jobs 2: the worker count is an
+    // execution parameter, not sweep identity, and restored points feed
+    // the cost-aware scheduler its journal-refined estimates.
     let resumed_json = tmp("cli_kill_resumed.json");
     let out = fpb()
         .args([
@@ -226,7 +229,7 @@ fn killed_mid_sweep_then_resume_matches_a_clean_run() {
             "--axis",
             "pt-dimm=466,560",
             "--jobs",
-            "1",
+            "2",
             "--resume",
         ])
         .arg(&journal)
@@ -234,6 +237,8 @@ fn killed_mid_sweep_then_resume_matches_a_clean_run() {
         .output()
         .expect("spawn");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("restored"), "stdout: {text}");
     let resumed = std::fs::read_to_string(&resumed_json).expect("resumed json");
     assert!(resumed.contains("\"skipped\": 0"), "{resumed}");
     assert!(resumed.contains("\"panicked\": 0"), "{resumed}");

@@ -4,11 +4,16 @@
 //! — workload, points, per-point metrics, the `identical` flag — must be
 //! byte-identical between `--jobs 1` and `--jobs N`.
 //!
+//! The second property pins the scheduler itself: the cost estimates fed
+//! to the chunked claim loop steer only *when* items run, so arbitrary
+//! (even adversarially wrong) cost vectors must leave the output array
+//! untouched.
+//!
 //! [`BenchReport::metric_fields_json`]: fpb::sim::BenchReport::metric_fields_json
 
 use proptest::prelude::*;
 
-use fpb::sim::run_fixed_bench;
+use fpb::sim::{parallel_map_arena, run_fixed_bench_repeats};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
@@ -16,10 +21,12 @@ proptest! {
     #[test]
     fn metric_fields_identical_across_job_counts(
         jobs in 2usize..9,
-        instructions in 1_000u64..2_000,
+        instructions in 400u64..1_000,
     ) {
-        let serial = run_fixed_bench(1, instructions).expect("pinned workload in catalog");
-        let parallel = run_fixed_bench(jobs, instructions).expect("pinned workload in catalog");
+        let serial =
+            run_fixed_bench_repeats(1, instructions, 1).expect("pinned workload in catalog");
+        let parallel =
+            run_fixed_bench_repeats(jobs, instructions, 1).expect("pinned workload in catalog");
 
         prop_assert!(serial.identical, "serial report flagged divergence");
         prop_assert!(parallel.identical, "parallel report flagged divergence");
@@ -29,5 +36,30 @@ proptest! {
             "metric fields diverged between jobs=1 and jobs={}",
             jobs
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_map_arena_invariant_under_arbitrary_costs(
+        costs in prop::collection::vec(0u64..1_000_000, 40),
+        jobs in 1usize..5,
+    ) {
+        let items: Vec<u64> = (0..40).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 7 + i as u64)
+            .collect();
+        let got = parallel_map_arena(
+            &items,
+            jobs,
+            Some(&costs),
+            |_slot| (),
+            |(), i, &x| x * 7 + i as u64,
+        );
+        prop_assert_eq!(got, expect, "output order must ignore the cost schedule");
     }
 }
