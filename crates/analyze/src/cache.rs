@@ -1,0 +1,325 @@
+//! The incremental analysis cache: per-file facts keyed by content hash.
+//!
+//! Extraction ([`crate::semantic::file_facts`]) is the expensive half of
+//! the pipeline and depends only on one file's text, so its result is
+//! cached under the file's FNV-1a-64 hash. On a warm run, unchanged files
+//! deserialize their facts instead of re-lexing; the interprocedural link
+//! stage always re-runs (it is cheap and depends on *all* files).
+//!
+//! The format is a line-oriented, tab-separated text file with its own
+//! schema tag — no serde, same zero-dependency rule as the rest of the
+//! crate. Robustness policy: *any* malformed line discards the entire
+//! cache. A stale or truncated cache must never change analysis results;
+//! CI enforces this by comparing cold and warm runs byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::rules::{Rule, Violation};
+use crate::semantic::{Call, CallKind, FileFacts, FnFact, SiteFact};
+
+/// Schema tag on the cache's first line; bump on any layout change.
+pub const CACHE_SCHEMA: &str = "fpb-analyze-cache/v1";
+
+/// Hit/miss counters for one run, surfaced by the CLI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files whose facts were reused.
+    pub hits: usize,
+    /// Files re-analyzed (changed, new, or cache absent).
+    pub misses: usize,
+}
+
+/// Serializes all facts to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a failed save is reported, not fatal.
+pub fn save(path: &Path, facts: &[FileFacts]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut s = String::with_capacity(64 * 1024);
+    s.push_str(CACHE_SCHEMA);
+    s.push('\n');
+    for f in facts {
+        s.push_str(&format!(
+            "F\t{}\t{}\t{:016x}\t{}{}{}{}\n",
+            esc(&f.rel_path),
+            esc(&f.crate_key),
+            f.hash,
+            u8::from(f.has_unsafe),
+            u8::from(f.is_crate_root),
+            u8::from(f.root_has_forbid),
+            u8::from(f.root_allows_forbid),
+        ));
+        for v in &f.violations {
+            s.push_str(&format!(
+                "V\t{}\t{}\t{}\t{}\n",
+                v.rule.name(),
+                v.line,
+                esc(&v.file),
+                esc(&v.message)
+            ));
+        }
+        for func in &f.fns {
+            s.push_str(&format!(
+                "N\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&func.name),
+                func.self_ty.as_deref().map(esc).unwrap_or_else(|| "-".into()),
+                func.line,
+                u8::from(func.has_self),
+                u8::from(func.is_test),
+            ));
+            for c in &func.calls {
+                let kind = match &c.kind {
+                    CallKind::Free => "F".to_string(),
+                    CallKind::Method => "M".to_string(),
+                    CallKind::Typed(ty) => format!("T:{}", esc(ty)),
+                };
+                s.push_str(&format!("C\t{}\t{}\t{}\n", esc(&c.name), kind, c.line));
+            }
+            for p in &func.panic_sites {
+                s.push_str(&format!("P\t{}\t{}\n", p.line, esc(&p.what)));
+            }
+            for d in &func.nondet_sources {
+                s.push_str(&format!("D\t{}\t{}\n", d.line, esc(&d.what)));
+            }
+        }
+    }
+    std::fs::write(path, s)
+}
+
+/// Loads a cache file into a rel-path-keyed map. Returns `None` — treat
+/// as a fully cold cache — when the file is absent, has a different
+/// schema tag, or contains any malformed record.
+pub fn load(path: &Path) -> Option<BTreeMap<String, FileFacts>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    parse(&text)
+}
+
+fn parse(text: &str) -> Option<BTreeMap<String, FileFacts>> {
+    let mut lines = text.lines();
+    if lines.next()? != CACHE_SCHEMA {
+        return None;
+    }
+    let mut out: BTreeMap<String, FileFacts> = BTreeMap::new();
+    let mut cur: Option<FileFacts> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.first().copied()? {
+            "F" => {
+                if let Some(done) = cur.take() {
+                    out.insert(done.rel_path.clone(), done);
+                }
+                let [_, rel, key, hash, flags] = fields.as_slice() else {
+                    return None;
+                };
+                let flags = flags.as_bytes();
+                if flags.len() != 4 || flags.iter().any(|b| !matches!(b, b'0' | b'1')) {
+                    return None;
+                }
+                cur = Some(FileFacts {
+                    rel_path: unesc(rel)?,
+                    crate_key: unesc(key)?,
+                    hash: u64::from_str_radix(hash, 16).ok()?,
+                    has_unsafe: flags[0] == b'1',
+                    is_crate_root: flags[1] == b'1',
+                    root_has_forbid: flags[2] == b'1',
+                    root_allows_forbid: flags[3] == b'1',
+                    violations: Vec::new(),
+                    fns: Vec::new(),
+                });
+            }
+            "V" => {
+                let [_, rule, vline, file, message] = fields.as_slice() else {
+                    return None;
+                };
+                cur.as_mut()?.violations.push(Violation {
+                    rule: Rule::from_name(rule)?,
+                    file: unesc(file)?,
+                    line: vline.parse().ok()?,
+                    message: unesc(message)?,
+                });
+            }
+            "N" => {
+                let [_, name, self_ty, fline, has_self, is_test] = fields.as_slice() else {
+                    return None;
+                };
+                cur.as_mut()?.fns.push(FnFact {
+                    name: unesc(name)?,
+                    self_ty: if *self_ty == "-" { None } else { Some(unesc(self_ty)?) },
+                    line: fline.parse().ok()?,
+                    has_self: parse_bit(has_self)?,
+                    is_test: parse_bit(is_test)?,
+                    calls: Vec::new(),
+                    panic_sites: Vec::new(),
+                    nondet_sources: Vec::new(),
+                });
+            }
+            "C" => {
+                let [_, name, kind, cline] = fields.as_slice() else {
+                    return None;
+                };
+                let kind = match *kind {
+                    "F" => CallKind::Free,
+                    "M" => CallKind::Method,
+                    t => CallKind::Typed(unesc(t.strip_prefix("T:")?)?),
+                };
+                cur.as_mut()?.fns.last_mut()?.calls.push(Call {
+                    name: unesc(name)?,
+                    kind,
+                    line: cline.parse().ok()?,
+                });
+            }
+            "P" | "D" => {
+                let [tag, sline, what] = fields.as_slice() else {
+                    return None;
+                };
+                let site = SiteFact {
+                    line: sline.parse().ok()?,
+                    what: unesc(what)?,
+                };
+                let f = cur.as_mut()?.fns.last_mut()?;
+                if *tag == "P" {
+                    f.panic_sites.push(site);
+                } else {
+                    f.nondet_sources.push(site);
+                }
+            }
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        out.insert(done.rel_path.clone(), done);
+    }
+    Some(out)
+}
+
+fn parse_bit(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Escapes tabs, newlines, and backslashes so a field never breaks the
+/// line/tab framing.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::file_facts;
+
+    fn sample() -> Vec<FileFacts> {
+        vec![
+            file_facts(
+                "crates/sim/src/a.rs",
+                "sim",
+                "impl System { pub fn run(&mut self) { helper(); x.unwrap() } }",
+            ),
+            file_facts(
+                "crates/core/src/lib.rs",
+                "core",
+                "#![forbid(unsafe_code)]\nfn helper() { let t = Instant::now(); }",
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_facts_exactly() {
+        let facts = sample();
+        let dir = std::env::temp_dir().join("fpb-cache-test-roundtrip");
+        let path = dir.join("cache.v1");
+        save(&path, &facts).expect("save");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.len(), 2);
+        for f in &facts {
+            assert_eq!(loaded.get(&f.rel_path), Some(f), "{}", f.rel_path);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn escaped_fields_survive() {
+        let mut f = file_facts("a.rs", "sim", "fn f() {}");
+        f.violations.push(Violation {
+            rule: Rule::PanicFreedom,
+            file: "a.rs".into(),
+            line: 1,
+            message: "tab\there\nand \\slash".into(),
+        });
+        let dir = std::env::temp_dir().join("fpb-cache-test-escape");
+        let path = dir.join("cache.v1");
+        save(&path, &[f.clone()]).expect("save");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.get("a.rs"), Some(&f));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_or_mismatched_cache_is_discarded_whole() {
+        assert_eq!(parse("wrong-schema\n"), None);
+        assert_eq!(parse(&format!("{CACHE_SCHEMA}\nX\tbogus\n")), None);
+        assert_eq!(
+            parse(&format!("{CACHE_SCHEMA}\nF\ta.rs\tsim\tnothex\t0000\n")),
+            None
+        );
+        // A valid file followed by a truncated record: all gone.
+        assert_eq!(
+            parse(&format!(
+                "{CACHE_SCHEMA}\nF\ta.rs\tsim\t{:016x}\t0000\nV\tpanic_freedom\n",
+                0u64
+            )),
+            None
+        );
+        // Orphan records (no preceding F) are malformed too.
+        assert_eq!(
+            parse(&format!("{CACHE_SCHEMA}\nP\t3\twhat\n")),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_cache_parses_to_empty_map() {
+        let m = parse(&format!("{CACHE_SCHEMA}\n")).expect("schema-only cache");
+        assert!(m.is_empty());
+    }
+}

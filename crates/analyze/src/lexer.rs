@@ -138,6 +138,19 @@ impl<'a> Lexer<'a> {
                 '"' => self.string_literal(),
                 '\'' => self.quote(),
                 'r' | 'b' if self.raw_string_ahead() => self.raw_or_byte_string(),
+                'r' if self.raw_ident_ahead() => {
+                    // Raw identifier `r#match`: strip the `r#` prefix and
+                    // lex the keyword-shaped name as a plain identifier.
+                    self.bump();
+                    self.bump();
+                    self.ident();
+                }
+                'b' if self.peek2() == Some('\'') => {
+                    // Byte char literal `b'x'`: one literal token, not a
+                    // phantom `b` identifier followed by a char.
+                    self.bump();
+                    self.quote();
+                }
                 c if c.is_alphabetic() || c == '_' => self.ident(),
                 c if c.is_ascii_digit() => self.number(),
                 c => {
@@ -252,19 +265,41 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// True when the cursor sits on `r"`, `r#`, `b"`, `br"`, or `br#` —
-    /// the raw/byte string openers.
+    /// True when the cursor sits on a raw/byte string opener: `r"`, `b"`,
+    /// `br"`, or `r`/`br` followed by any run of `#` ending in `"`. A `#`
+    /// run NOT ending in `"` is a raw identifier (`r#match`), not a
+    /// string — treating it as one would swallow the rest of the file.
     fn raw_string_ahead(&mut self) -> bool {
         let mut clone = self.chars.clone();
         match clone.next() {
-            Some('r') => matches!(clone.next(), Some('"') | Some('#')),
+            Some('r') => {}
             Some('b') => match clone.next() {
-                Some('"') => true,
-                Some('r') => matches!(clone.next(), Some('"') | Some('#')),
-                _ => false,
+                Some('"') => return true,
+                Some('r') => {}
+                _ => return false,
             },
+            _ => return false,
+        }
+        match clone.next() {
+            Some('"') => true,
+            Some('#') => {
+                let mut c = clone.next();
+                while c == Some('#') {
+                    c = clone.next();
+                }
+                c == Some('"')
+            }
             _ => false,
         }
+    }
+
+    /// True when the cursor sits on a raw identifier: `r#` followed by an
+    /// identifier-start character (`r#type`, `r#match`).
+    fn raw_ident_ahead(&mut self) -> bool {
+        let mut clone = self.chars.clone();
+        clone.next() == Some('r')
+            && clone.next() == Some('#')
+            && clone.next().is_some_and(|c| c.is_alphabetic() || c == '_')
     }
 
     fn raw_or_byte_string(&mut self) {
@@ -465,6 +500,85 @@ mod tests {
         );
         // `1.max(2)` keeps the method name.
         assert!(l.tokens.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn raw_strings_with_multi_hash_delimiters() {
+        // `r##"…"##` may contain `"#` sequences without terminating.
+        let src = "let s = r##\"quote \"# inside\"##; after";
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+        let src = "let s = r###\"x\"## not yet \"###; tail";
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+        // Empty raw string and zero-hash form.
+        assert_eq!(idents("let s = r\"\"; t"), vec!["let", "s", "t"]);
+        assert_eq!(idents("let s = r#\"\"#; t"), vec!["let", "s", "t"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers_not_strings() {
+        // `r#match` must not open a raw string and swallow the file.
+        let src = "let r#type = r#match.unwrap(); trailing";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("match")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("trailing")));
+        // The `.unwrap(` shape survives for the panic_freedom detector.
+        let pos = l.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(l.tokens[pos - 1].is_punct('.'));
+        assert!(l.tokens[pos + 1].is_punct('('));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        // Raw byte strings with hash delimiters hide their contents.
+        let src = "let b = br##\"not code .unwrap()\"##; tail";
+        assert_eq!(idents(src), vec!["let", "b", "tail"]);
+        // Byte char literal is one literal token, not ident + char.
+        let l = lex("let c = b'x'; d");
+        assert_eq!(idents("let c = b'x'; d"), vec!["let", "c", "d"]);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+        // Escaped byte char.
+        assert_eq!(idents(r"let c = b'\n'; d"), vec!["let", "c", "d"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let l = lex("/* a /* b /* c */ b */ a */ code()");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.is_ident("code")));
+        // Partial markers inside the comment do not unbalance it.
+        let l = lex("/* star * slash / ok */ more()");
+        assert!(l.tokens.iter().any(|t| t.is_ident("more")));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal_ambiguity() {
+        // A lifetime immediately followed by a char literal.
+        let l = lex("fn f<'a>(x: &'a u8) { g('x') }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+        // `'_` anonymous lifetime and `'_'` char literal.
+        let l = lex("let x: &'_ u8 = f('_');");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "_"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+        // Escaped quote char `'\''`.
+        assert_eq!(idents(r"let q = '\''; d"), vec!["let", "q", "d"]);
     }
 
     #[test]

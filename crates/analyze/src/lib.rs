@@ -39,9 +39,16 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod baseline;
+pub mod cache;
+pub mod callgraph;
+pub mod cfg;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
+pub mod symbols;
 pub mod walk;
 
 use std::io;
@@ -56,44 +63,92 @@ pub struct ScanResult {
     pub files_scanned: usize,
     /// Every violation found, in (file, line) order.
     pub violations: Vec<Violation>,
+    /// Cache hit/miss counters for this run (all misses when no cache
+    /// path was given).
+    pub cache: cache::CacheStats,
 }
 
 /// Scans every source file under `root` (see [`walk::collect_sources`]
-/// for what is included) and applies the whole rule catalog, including
-/// the per-crate [`Rule::MissingForbidUnsafe`] check.
+/// for what is included) and applies the whole rule catalog: the lexical
+/// rules, the per-crate [`Rule::MissingForbidUnsafe`] check, and the
+/// semantic rules (token leaks, panic reachability, nondeterminism
+/// taint) over the workspace call graph.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from traversal or file reads.
 pub fn scan_root(root: &Path) -> io::Result<ScanResult> {
+    scan_root_cached(root, None)
+}
+
+/// [`scan_root`] with an optional incremental cache: per-file facts are
+/// reused when the file's content hash matches, and the cache file is
+/// rewritten after the scan. Results are byte-identical with and without
+/// a cache — CI enforces this by diffing cold and warm reports.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads. Cache *read*
+/// problems fall back to a cold scan; cache *write* failures are
+/// silently dropped (the cache is an optimization, never a requirement).
+pub fn scan_root_cached(root: &Path, cache_path: Option<&Path>) -> io::Result<ScanResult> {
     let sources = walk::collect_sources(root)?;
-    let mut violations = Vec::new();
-    // crate key → (has any `unsafe` token, root file seen, root has forbid,
-    // root rel path).
-    let mut crates: std::collections::BTreeMap<String, CrateUnsafeInfo> =
-        std::collections::BTreeMap::new();
+    let cached = cache_path.and_then(cache::load).unwrap_or_default();
+    let mut stats = cache::CacheStats::default();
+    let mut facts: Vec<semantic::FileFacts> = Vec::with_capacity(sources.len());
     for src_file in &sources {
         let text = std::fs::read_to_string(&src_file.abs_path)?;
-        violations.extend(rules::scan_source(
-            &src_file.rel_path,
-            &src_file.crate_key,
-            &text,
-        ));
-        let info = crates.entry(src_file.crate_key.clone()).or_default();
-        info.has_unsafe |= lexer::lex(&text)
-            .tokens
-            .iter()
-            .any(|t| t.is_ident("unsafe"));
-        if src_file.rel_path.ends_with("src/lib.rs") {
-            info.root_file = Some(src_file.rel_path.clone());
-            info.root_has_forbid = text.contains("#![forbid(unsafe_code)]");
-            info.root_allows_rule = text.contains("fpb-lint: allow-file(missing_forbid_unsafe)");
+        let hash = semantic::fnv1a64(text.as_bytes());
+        match cached.get(&src_file.rel_path) {
+            Some(hit) if hit.hash == hash && hit.crate_key == src_file.crate_key => {
+                stats.hits += 1;
+                facts.push(hit.clone());
+            }
+            _ => {
+                stats.misses += 1;
+                facts.push(semantic::file_facts(
+                    &src_file.rel_path,
+                    &src_file.crate_key,
+                    &text,
+                ));
+            }
         }
     }
+
+    let mut violations = semantic::analyze(&facts);
+    violations.extend(missing_forbid_unsafe(&facts));
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if let Some(path) = cache_path {
+        // Best-effort: a read-only target directory must not fail lint.
+        let _ = cache::save(path, &facts);
+    }
+    Ok(ScanResult {
+        files_scanned: sources.len(),
+        violations,
+        cache: stats,
+    })
+}
+
+/// The per-crate aggregate check: a crate with no `unsafe` anywhere
+/// should lock that in at its root.
+fn missing_forbid_unsafe(facts: &[semantic::FileFacts]) -> Vec<Violation> {
+    let mut crates: std::collections::BTreeMap<&str, CrateUnsafeInfo> =
+        std::collections::BTreeMap::new();
+    for f in facts {
+        let info = crates.entry(f.crate_key.as_str()).or_default();
+        info.has_unsafe |= f.has_unsafe;
+        if f.is_crate_root {
+            info.root_file = Some(f.rel_path.clone());
+            info.root_has_forbid = f.root_has_forbid;
+            info.root_allows_rule = f.root_allows_forbid;
+        }
+    }
+    let mut out = Vec::new();
     for (key, info) in &crates {
         if let Some(root_file) = &info.root_file {
             if !info.has_unsafe && !info.root_has_forbid && !info.root_allows_rule {
-                violations.push(Violation {
+                out.push(Violation {
                     rule: Rule::MissingForbidUnsafe,
                     file: root_file.clone(),
                     line: 1,
@@ -105,13 +160,7 @@ pub fn scan_root(root: &Path) -> io::Result<ScanResult> {
             }
         }
     }
-    violations.sort_by(|a, b| {
-        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
-    });
-    Ok(ScanResult {
-        files_scanned: sources.len(),
-        violations,
-    })
+    out
 }
 
 #[derive(Debug, Default)]

@@ -96,7 +96,7 @@ pub fn render_json(report: &RatchetReport, files_scanned: usize) -> String {
 
 /// Minimal JSON string escaping (paths and messages are ASCII in
 /// practice, but escape defensively).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

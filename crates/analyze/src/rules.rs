@@ -53,11 +53,23 @@ pub enum Rule {
     MissingForbidUnsafe,
     /// Scheme policy field mutated outside the scheme module.
     SchemeIsolation,
+    /// A power-token acquisition (`try_grant_*`, `take_*scratch`) not
+    /// released, returned, or propagated on every exit path (semantic).
+    TokenLeak,
+    /// A panic site transitively reachable from `System::run`/`step`
+    /// through the call graph (semantic).
+    PanicReachability,
+    /// A nondeterminism source (wall clock, env, hash iteration, thread
+    /// IDs) transitively reachable from metrics/report emission (semantic).
+    NondetTaint,
+    /// `Ordering::Relaxed` on a cross-thread coordination atomic without
+    /// an adjacent `// ORDER:` justification (semantic).
+    AtomicOrdering,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 12] = [
         Rule::PanicFreedom,
         Rule::Determinism,
         Rule::HashOrder,
@@ -66,6 +78,10 @@ impl Rule {
         Rule::UnsafeNoSafety,
         Rule::MissingForbidUnsafe,
         Rule::SchemeIsolation,
+        Rule::TokenLeak,
+        Rule::PanicReachability,
+        Rule::NondetTaint,
+        Rule::AtomicOrdering,
     ];
 
     /// Stable machine-readable name (used in the baseline, the JSON
@@ -80,6 +96,10 @@ impl Rule {
             Rule::UnsafeNoSafety => "unsafe_no_safety",
             Rule::MissingForbidUnsafe => "missing_forbid_unsafe",
             Rule::SchemeIsolation => "scheme_isolation",
+            Rule::TokenLeak => "token_leak",
+            Rule::PanicReachability => "panic_reachability",
+            Rule::NondetTaint => "nondet_taint",
+            Rule::AtomicOrdering => "atomic_ordering",
         }
     }
 
@@ -105,6 +125,18 @@ impl Rule {
             Rule::SchemeIsolation => {
                 "scheme policy is composed in the scheme module; stages consume it via hooks"
             }
+            Rule::TokenLeak => {
+                "every granted power token must return to the ledger on every exit path"
+            }
+            Rule::PanicReachability => {
+                "a panic reachable from System::run/step can abort a simulation mid-write"
+            }
+            Rule::NondetTaint => {
+                "a nondeterminism source feeding metrics/report output breaks bit-equality gates"
+            }
+            Rule::AtomicOrdering => {
+                "Relaxed on a coordination atomic needs an `// ORDER:` proof it cannot reorder"
+            }
         }
     }
 
@@ -126,6 +158,15 @@ impl Rule {
             Rule::UnsafeNoSafety | Rule::MissingForbidUnsafe => true,
             // The Scheme trait and its composable setup live in fpb-sim.
             Rule::SchemeIsolation => crate_key == "sim",
+            // Grants are issued by fpb-core's ledger and consumed in the
+            // simulation crates; panic/taint propagation follows the same
+            // hot-path scope as their lexical siblings.
+            Rule::TokenLeak | Rule::PanicReachability | Rule::NondetTaint => {
+                matches!(crate_key, "core" | "sim" | "pcm")
+            }
+            // The cross-thread coordination atomics live in fpb-sim's
+            // exec/supervise modules.
+            Rule::AtomicOrdering => crate_key == "sim",
         }
     }
 }
@@ -162,7 +203,7 @@ const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Macros banned by [`Rule::PanicFreedom`] (asserts stay allowed: they
 /// state contracts, and `debug_assert!` vanishes in release builds).
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Scheme policy fields ([`Rule::SchemeIsolation`]): assigning to one of
 /// these through a field access outside the scheme module bypasses the
@@ -186,7 +227,12 @@ const SCHEME_FIELDS: [&str; 6] = [
 /// regions under `#[cfg(test)]`/`#[test]`, and whole files under
 /// `tests/`, `benches/`, `examples/`, or named `proptests.rs`.
 pub fn scan_source(file: &str, crate_key: &str, src: &str) -> Vec<Violation> {
-    let lexed = lex(src);
+    scan_lexed(file, crate_key, &lex(src))
+}
+
+/// Token-stream form of [`scan_source`], for callers that already lexed
+/// the file (the semantic fact extractor shares one lex per file).
+pub(crate) fn scan_lexed(file: &str, crate_key: &str, lexed: &crate::lexer::Lexed) -> Vec<Violation> {
     let test_file = is_test_file(file);
     let scheme_module = is_scheme_module(file);
     let test_lines = test_region_lines(&lexed.tokens);
@@ -196,6 +242,12 @@ pub fn scan_source(file: &str, crate_key: &str, src: &str) -> Vec<Violation> {
         .comments
         .iter()
         .filter(|c| c.text.contains("SAFETY:"))
+        .flat_map(|c| c.start_line..=c.end_line)
+        .collect();
+    let order_lines: BTreeSet<u32> = lexed
+        .comments
+        .iter()
+        .filter(|c| c.text.contains("ORDER:"))
         .flat_map(|c| c.start_line..=c.end_line)
         .collect();
 
@@ -316,6 +368,25 @@ pub fn scan_source(file: &str, crate_key: &str, src: &str) -> Vec<Violation> {
                     &mut out,
                 );
             }
+            "Relaxed" if !in_test => {
+                // `Ordering::Relaxed` on a coordination atomic: fine for
+                // counters, but only with an adjacent `// ORDER:` comment
+                // proving no cross-thread ordering depends on it.
+                let qualified = i >= 2
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks.get(i.wrapping_sub(3)).is_some_and(|t| t.is_ident("Ordering"));
+                let documented = (t.line.saturating_sub(3)..=t.line)
+                    .any(|l| order_lines.contains(&l));
+                if qualified && !documented {
+                    emit(
+                        Rule::AtomicOrdering,
+                        t.line,
+                        "`Ordering::Relaxed` without an `// ORDER:` justification".to_string(),
+                        &mut out,
+                    );
+                }
+            }
             "unsafe" => {
                 // Applies in test code too: unsafe is unsafe everywhere.
                 let documented = (t.line.saturating_sub(3)..=t.line)
@@ -361,7 +432,7 @@ fn is_field_assignment(toks: &[Token], i: usize) -> bool {
 }
 
 /// True if the whole file is test/bench/example code.
-fn is_test_file(file: &str) -> bool {
+pub(crate) fn is_test_file(file: &str) -> bool {
     let normalized = file.replace('\\', "/");
     normalized.contains("/tests/")
         || normalized.contains("/benches/")
@@ -412,7 +483,7 @@ fn domain_word_lines(toks: &[Token]) -> BTreeSet<u32> {
 /// Computes the set of source lines inside `#[cfg(test)]` / `#[test]`
 /// items by tracking brace depth: a test attribute arms a pending flag
 /// that latches onto the next `{` and stays set until its matching `}`.
-fn test_region_lines(toks: &[Token]) -> BTreeSet<u32> {
+pub(crate) fn test_region_lines(toks: &[Token]) -> BTreeSet<u32> {
     let mut lines = BTreeSet::new();
     let mut depth: i32 = 0;
     let mut pending = false;
@@ -493,7 +564,7 @@ fn test_region_lines(toks: &[Token]) -> BTreeSet<u32> {
 
 /// Parsed `fpb-lint:` allow directives for one file.
 #[derive(Debug, Default)]
-struct Directives {
+pub(crate) struct Directives {
     /// Rules suppressed for the whole file.
     file_wide: BTreeSet<Rule>,
     /// Rule → lines on which it is suppressed.
@@ -501,7 +572,7 @@ struct Directives {
 }
 
 impl Directives {
-    fn parse(comments: &[Comment]) -> Self {
+    pub(crate) fn parse(comments: &[Comment]) -> Self {
         let mut d = Directives::default();
         for c in comments {
             let Some(idx) = c.text.find("fpb-lint:") else {
@@ -533,7 +604,7 @@ impl Directives {
         d
     }
 
-    fn allows(&self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn allows(&self, rule: Rule, line: u32) -> bool {
         self.file_wide.contains(&rule)
             || self.lines.get(&rule).is_some_and(|s| s.contains(&line))
     }

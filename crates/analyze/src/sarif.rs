@@ -1,0 +1,109 @@
+//! SARIF v2.1.0 output, so editors and code-scanning UIs can ingest
+//! `fpb lint` findings without a custom adapter.
+//!
+//! The emitted document is the minimal valid subset: one run, a tool
+//! driver carrying the full rule catalog (id + short description), and
+//! one result per violation with a physical location. Violations within
+//! the checked-in baseline are reported at `"warning"` level (known
+//! debt); violations above it are `"error"`.
+
+use crate::baseline::RatchetReport;
+use crate::report::json_string;
+use crate::rules::Rule;
+
+/// The SARIF schema/version this writer targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Renders the ratchet verdict as a SARIF v2.1.0 document.
+pub fn render_sarif(report: &RatchetReport) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    s.push_str(&format!("  \"version\": {},\n", json_string(SARIF_VERSION)));
+    s.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"fpb-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/fpb\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_string(rule.name()),
+            json_string(rule.rationale()),
+            if i + 1 < Rule::ALL.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    let mut results: Vec<String> = Vec::new();
+    for o in &report.outcomes {
+        for (k, v) in o.violations.iter().enumerate() {
+            // The first `allowed` findings of a rule are baselined debt;
+            // anything beyond regresses the ratchet.
+            let level = if (k as u64) < o.allowed { "warning" } else { "error" };
+            results.push(format!(
+                "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_string(v.rule.name()),
+                json_string(level),
+                json_string(&v.message),
+                json_string(&v.file.replace('\\', "/")),
+                v.line
+            ));
+        }
+    }
+    s.push_str(&results.join(",\n"));
+    if !results.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{check_ratchet, Baseline};
+    use crate::rules::Violation;
+
+    fn report_with(count: usize, allowed: u64) -> RatchetReport {
+        let vs: Vec<Violation> = (0..count)
+            .map(|i| Violation {
+                rule: Rule::PanicFreedom,
+                file: "crates/core/src/manager.rs".into(),
+                line: i as u32 + 10,
+                message: "`panic!` in non-test code".into(),
+            })
+            .collect();
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert("panic_freedom".to_string(), allowed);
+        check_ratchet(&vs, &Baseline::from_counts(counts))
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let doc = render_sarif(&report_with(2, 1));
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("sarif-schema-2.1.0.json"));
+        assert!(doc.contains("\"name\": \"fpb-lint\""));
+        for rule in Rule::ALL {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", rule.name())), "{rule}");
+        }
+        assert!(doc.contains("\"startLine\": 10"));
+        assert!(doc.contains("\"startLine\": 11"));
+        // One baselined warning, one over-baseline error.
+        assert!(doc.contains("\"level\": \"warning\""));
+        assert!(doc.contains("\"level\": \"error\""));
+    }
+
+    #[test]
+    fn sarif_is_brace_balanced_even_when_empty() {
+        for doc in [render_sarif(&report_with(0, 0)), render_sarif(&report_with(3, 3))] {
+            assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+            assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        }
+    }
+}

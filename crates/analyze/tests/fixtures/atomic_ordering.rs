@@ -1,0 +1,43 @@
+//! Seeded `atomic_ordering` violations: `Ordering::Relaxed` on a
+//! coordination atomic needs an adjacent `// ORDER:` justification
+//! within the three lines above the use.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn unjustified_load(cursor: &AtomicUsize) -> usize {
+    cursor.load(Ordering::Relaxed) //~ atomic_ordering
+}
+
+pub fn unjustified_store(cursor: &AtomicUsize) {
+    cursor.store(0, Ordering::Relaxed); //~ atomic_ordering
+}
+
+pub fn justification_too_far_away(cursor: &AtomicUsize) -> usize {
+    // ORDER: this proof is stranded well above the use, outside the
+    // three-line adjacency window, so the rule still fires.
+    let _ = cursor;
+    let _ = 0;
+    let _ = 1;
+    let _ = 2;
+    cursor.load(Ordering::Relaxed) //~ atomic_ordering
+}
+
+pub fn justified_load(cursor: &AtomicUsize) -> usize {
+    // ORDER: pure claim counter; no data is published through it.
+    cursor.load(Ordering::Relaxed)
+}
+
+pub fn stronger_orderings_need_no_comment(cursor: &AtomicUsize) -> usize {
+    cursor.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_exempt() {
+        let c = AtomicUsize::new(0);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+}

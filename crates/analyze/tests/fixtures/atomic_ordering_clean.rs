@@ -1,0 +1,19 @@
+//! Clean twin of `atomic_ordering.rs`: every `Ordering::Relaxed` use
+//! carries an adjacent `// ORDER:` proof. Must produce zero findings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim_next(cursor: &AtomicUsize) -> usize {
+    // ORDER: the cursor only hands out unique indices; results
+    // synchronize elsewhere, so Relaxed cannot reorder anything.
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn observe(cursor: &AtomicUsize) -> usize {
+    // ORDER: monotonic progress probe, tolerant of stale reads.
+    cursor.load(Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release);
+}

@@ -1,0 +1,24 @@
+//! Clean twin of `nondet_taint.rs`: metrics emission reaches only
+//! deterministic helpers (ordered containers, simulated clocks). Must
+//! produce zero findings.
+
+pub struct Metrics {
+    pub cycles: u64,
+}
+
+impl Metrics {
+    pub fn render(&self) -> String {
+        let tag = worker_tag(3);
+        let buckets = bucket_count();
+        format!("cycles={} tag={tag} buckets={buckets}", self.cycles)
+    }
+}
+
+fn worker_tag(slot: usize) -> String {
+    format!("w{slot}")
+}
+
+fn bucket_count() -> usize {
+    let m = std::collections::BTreeMap::<u32, u32>::new();
+    m.len()
+}

@@ -1,0 +1,54 @@
+//! Seeded `panic_reachability` violations: panic sites on call chains
+//! from the engine's public stepping entry points (`System::run` /
+//! `System::step`). The lexical `panic_freedom` hits are suppressed with
+//! directives so each marked line pins the reachability rule alone.
+
+pub struct System {
+    depth: u32,
+}
+
+impl System {
+    pub fn run(&mut self) {
+        self.advance();
+    }
+
+    pub fn step(&mut self) -> bool {
+        self.depth = self.checked_step();
+        self.depth > 0
+    }
+
+    fn advance(&mut self) {
+        self.commit_round();
+    }
+
+    fn commit_round(&mut self) {
+        if self.depth == 0 {
+            // fpb-lint: allow(panic_freedom)
+            panic!("scheduling deadlock"); //~ panic_reachability
+        }
+        self.depth -= 1;
+    }
+
+    fn checked_step(&mut self) -> u32 {
+        // fpb-lint: allow(panic_freedom)
+        self.depth.checked_sub(1).expect("depth underflow") //~ panic_reachability
+    }
+}
+
+fn orphan_helper() {
+    // Not reachable from run/step, so panic_reachability stays silent
+    // even though the site is recorded.
+    // fpb-lint: allow(panic_freedom)
+    unreachable!("never called from the engine");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_in_tests_never_count() {
+        let mut s = System { depth: 1 };
+        assert!(!s.step());
+    }
+}

@@ -12,6 +12,8 @@ use std::path::Path;
 use fpb_analyze::baseline::{check_ratchet, Baseline};
 use fpb_analyze::report::{render_json, render_text};
 use fpb_analyze::rules::{scan_source, Rule};
+use fpb_analyze::sarif::render_sarif;
+use fpb_analyze::semantic::scan_semantic;
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -45,9 +47,80 @@ fn assert_fixture(name: &str, crate_key: &str) {
     assert_eq!(got, markers(&src), "{name} (crate key {crate_key})");
 }
 
+/// Like [`assert_fixture`] but through the semantic pipeline (item
+/// parsing, CFG walks, and a single-file link stage), which the four
+/// semantic rules need.
+fn assert_semantic_fixture(name: &str, crate_key: &str) {
+    let src = fixture(name);
+    let mut got: Vec<(Rule, u32)> = scan_semantic(name, crate_key, &src)
+        .iter()
+        .map(|v| (v.rule, v.line))
+        .collect();
+    got.sort();
+    assert_eq!(got, markers(&src), "{name} (crate key {crate_key})");
+}
+
 #[test]
 fn panic_freedom_fixture() {
     assert_fixture("panic_freedom.rs", "core");
+}
+
+#[test]
+fn token_leak_fixture() {
+    assert_semantic_fixture("token_leak.rs", "core");
+}
+
+#[test]
+fn token_leak_clean_twin() {
+    assert_semantic_fixture("token_leak_clean.rs", "core");
+}
+
+#[test]
+fn panic_reachability_fixture() {
+    assert_semantic_fixture("panic_reachability.rs", "sim");
+}
+
+#[test]
+fn panic_reachability_clean_twin() {
+    assert_semantic_fixture("panic_reachability_clean.rs", "sim");
+}
+
+#[test]
+fn nondet_taint_fixture() {
+    assert_semantic_fixture("nondet_taint.rs", "sim");
+}
+
+#[test]
+fn nondet_taint_clean_twin() {
+    assert_semantic_fixture("nondet_taint_clean.rs", "sim");
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    assert_semantic_fixture("atomic_ordering.rs", "sim");
+}
+
+#[test]
+fn atomic_ordering_clean_twin() {
+    assert_semantic_fixture("atomic_ordering_clean.rs", "sim");
+}
+
+#[test]
+fn semantic_fixtures_outside_scoped_crates_are_exempt() {
+    // The semantic rules police the simulation crates only; the same
+    // sources under an unscoped crate key report nothing.
+    for name in [
+        "token_leak.rs",
+        "panic_reachability.rs",
+        "nondet_taint.rs",
+        "atomic_ordering.rs",
+    ] {
+        let src = fixture(name);
+        assert!(
+            scan_semantic(name, "analyze", &src).is_empty(),
+            "{name} should be exempt outside the scoped crates"
+        );
+    }
 }
 
 #[test]
@@ -119,6 +192,10 @@ fn every_rule_is_covered_by_a_fixture() {
         "float_eq.rs",
         "unsafe_hygiene.rs",
         "scheme_isolation.rs",
+        "token_leak.rs",
+        "panic_reachability.rs",
+        "nondet_taint.rs",
+        "atomic_ordering.rs",
     ]
     .iter()
     .flat_map(|name| markers(&fixture(name)).into_iter().map(|(r, _)| r))
@@ -163,4 +240,33 @@ fn golden_json_report_shape() {
     );
     assert!(json.starts_with("{\n  \"schema\": \"fpb-lint/v1\",\n"));
     assert!(json.contains("\"ok\": false"));
+}
+
+#[test]
+fn golden_sarif_report_shape() {
+    let src = fixture("token_leak.rs");
+    let vs = scan_semantic("token_leak.rs", "core", &src);
+    assert!(!vs.is_empty(), "fixture must seed findings");
+    let report = check_ratchet(&vs, &Baseline::empty());
+    let sarif = render_sarif(&report);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"name\": \"fpb-lint\""));
+    // The full rule catalog rides along even for rules with no results.
+    for rule in Rule::ALL {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{rule}\"")),
+            "missing catalog entry for {rule} in:\n{sarif}"
+        );
+    }
+    // Unbaselined findings surface as errors with physical locations.
+    assert!(sarif.contains("\"ruleId\": \"token_leak\""));
+    assert!(sarif.contains("\"level\": \"error\""));
+    assert!(sarif.contains("\"uri\": \"token_leak.rs\""));
+    // A baseline covering the findings downgrades them to warnings.
+    let mut counts = std::collections::BTreeMap::new();
+    counts.insert("token_leak".to_string(), vs.len() as u64);
+    let allowed = check_ratchet(&vs, &Baseline::from_counts(counts));
+    let sarif_allowed = render_sarif(&allowed);
+    assert!(sarif_allowed.contains("\"level\": \"warning\""));
+    assert!(!sarif_allowed.contains("\"level\": \"error\""));
 }

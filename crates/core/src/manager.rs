@@ -89,6 +89,9 @@ impl PowerManager {
     /// Panics if the configuration is invalid ([`PowerPolicyConfig::validate`]).
     pub fn new(cfg: PowerPolicyConfig, geom: &DimmGeometry) -> Self {
         if let Err(e) = cfg.validate() {
+            // Construction-time validation with a documented `# Panics`
+            // contract; unreachable from run/step per panic_reachability.
+            // fpb-lint: allow(panic_freedom)
             panic!("invalid power policy config: {e}");
         }
         let ledger = match cfg.pt_dimm {

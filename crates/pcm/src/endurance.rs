@@ -100,20 +100,24 @@ impl EnduranceTracker {
         self.per_region[region]
     }
 
-    /// `(region index, cells written)` of the most-worn region.
+    /// `(region index, cells written)` of the most-worn region, or
+    /// `(0, 0)` for a zero-region device.
     pub fn hottest_region(&self) -> (usize, u64) {
         self.per_region
             .iter()
             .copied()
             .enumerate()
             .max_by_key(|&(_, v)| v)
-            .expect("regions nonempty")
+            .unwrap_or((0, 0))
     }
 
     /// Max-over-mean chip wear (1.0 = perfectly even; what VIM/BIM and
     /// wear leveling improve).
     pub fn chip_imbalance(&self) -> f64 {
-        let max = *self.per_chip.iter().max().expect("chips nonempty") as f64;
+        if self.per_chip.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_chip.iter().copied().max().unwrap_or(0) as f64;
         let mean = self.total_cells_written() as f64 / self.per_chip.len() as f64;
         // `mean` is an integer sum over a nonzero count: it is exactly 0.0
         // iff no cells were written, so exact equality is the right guard.

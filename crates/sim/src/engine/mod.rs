@@ -272,6 +272,9 @@ pub fn try_run_workload<S: Scheme + Clone>(
 ///
 /// Panics if the configuration is invalid.
 pub fn warm_cores(workload: &Workload, cfg: &SystemConfig, opts: &SimOptions) -> Vec<CoreState> {
+    // Construction-time validation with a documented `# Panics` contract;
+    // panic_reachability confirms this is unreachable from run/step.
+    // fpb-lint: allow(panic_freedom)
     cfg.validate().expect("invalid system config");
     assert!(
         workload.per_core.len() >= cfg.cores as usize,
@@ -290,6 +293,9 @@ pub fn warm_cores(workload: &Workload, cfg: &SystemConfig, opts: &SimOptions) ->
                 &mut root,
                 opts.full_hierarchy,
             )
+            // Construction-time validation (see `# Panics` above);
+            // unreachable from run/step per panic_reachability.
+            // fpb-lint: allow(panic_freedom)
             .expect("invalid cache config");
             let mut wrng = root.fork(0xF111 + i as u64);
             core.warm_up(warmup, &mut wrng);
@@ -388,6 +394,9 @@ impl<S: Scheme + Clone> System<S> {
         opts: &SimOptions,
         cores: Vec<CoreState>,
     ) -> Self {
+        // Construction-time validation with a documented `# Panics`
+        // contract; unreachable from run/step per panic_reachability.
+        // fpb-lint: allow(panic_freedom)
         cfg.validate().expect("invalid system config");
         let _ = workload;
         let geom = DimmGeometry::new(cfg.pcm.chips, cfg.pcm.cells_per_line());
@@ -486,7 +495,7 @@ impl<S: Scheme> System<S> {
             // Documented contract of this wrapper: re-raise the typed
             // failure from `try_run` for callers that treat a deadlock
             // as a bug (same shape as exec::parallel_map_indexed).
-            // fpb-lint: allow(panic_freedom)
+            // fpb-lint: allow(panic_freedom, panic_reachability)
             Err(e) => panic!("{e}"),
         }
     }
@@ -514,7 +523,7 @@ impl<S: Scheme> System<S> {
             // Documented contract of this wrapper: re-raise the typed
             // failure from `try_step` for callers that treat a deadlock
             // as a bug (same shape as exec::parallel_map_indexed).
-            // fpb-lint: allow(panic_freedom)
+            // fpb-lint: allow(panic_freedom, panic_reachability)
             Err(e) => panic!("{e}"),
         }
     }

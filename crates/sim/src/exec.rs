@@ -124,6 +124,8 @@ fn into_slot_value<R>(slot: Mutex<Option<R>>) -> Option<R> {
 /// claims that keep all workers busy until the grid is drained.
 fn claim_chunk(next: &AtomicUsize, total: usize, workers: usize) -> Option<(usize, usize)> {
     loop {
+        // ORDER: the cursor is a pure claim counter — no data is
+        // published through it, results flow via per-slot Mutexes.
         let start = next.load(Ordering::Relaxed);
         if start >= total {
             return None;
@@ -133,6 +135,8 @@ fn claim_chunk(next: &AtomicUsize, total: usize, workers: usize) -> Option<(usiz
         match next.compare_exchange_weak(
             start,
             start + take,
+            // ORDER: the CAS only arbitrates who owns [start, start+take);
+            // claimed items are read-only input, so Relaxed on both edges.
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {

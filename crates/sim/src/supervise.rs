@@ -476,6 +476,8 @@ where
 {
     std::thread::spawn(move || {
         loop {
+            // ORDER: fetch_add only hands out unique indices; slot
+            // results synchronize through their own Mutexes, not here.
             let k = ctx.next.fetch_add(1, Ordering::Relaxed);
             if k >= ctx.items.len() {
                 return;

@@ -10,8 +10,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fpb::analyze::{baseline::Baseline, baseline::check_ratchet, report, scan_root};
-use fpb::cli::{self, Command, LintArgs, RunArgs, SweepControl};
+use fpb::analyze::{
+    baseline::check_ratchet, baseline::Baseline, report, sarif, scan_root_cached,
+};
+use fpb::cli::{self, Command, LintArgs, LintFormat, RunArgs, SweepControl};
 use fpb::sim::engine::{run_workload_warmed, warm_cores};
 use fpb::sim::journal::JournalMode;
 use fpb::sim::sweep::{run_sweep_supervised, PanicInjection, SupervisedSweepRequest};
@@ -349,16 +351,35 @@ fn run_lint(la: &LintArgs) -> Result<(), String> {
     let baseline_text = std::fs::read_to_string(&baseline_path)
         .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
     let baseline = Baseline::parse(&baseline_text)?;
-    let scan = scan_root(root).map_err(|e| format!("scan {}: {e}", root.display()))?;
-    let ratchet = check_ratchet(&scan.violations, &baseline);
-    let rendered = if la.json {
-        report::render_json(&ratchet, scan.files_scanned)
+    let cache_path = if la.no_cache {
+        None
     } else {
-        report::render_text(&ratchet, scan.files_scanned)
+        Some(match &la.cache {
+            Some(p) => std::path::PathBuf::from(p),
+            None => root.join("target").join("fpb-lint-cache.v1"),
+        })
+    };
+    let scan = scan_root_cached(root, cache_path.as_deref())
+        .map_err(|e| format!("scan {}: {e}", root.display()))?;
+    if cache_path.is_some() {
+        eprintln!(
+            "fpb lint: facts cache {} hit(s), {} miss(es)",
+            scan.cache.hits, scan.cache.misses
+        );
+    }
+    let ratchet = check_ratchet(&scan.violations, &baseline);
+    let rendered = match la.format {
+        LintFormat::Text => report::render_text(&ratchet, scan.files_scanned),
+        LintFormat::Json => report::render_json(&ratchet, scan.files_scanned),
+        LintFormat::Sarif => sarif::render_sarif(&ratchet),
     };
     print!("{rendered}");
     if let Some(out) = &la.out {
         std::fs::write(out, &rendered).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    if let Some(out) = &la.sarif_out {
+        std::fs::write(out, sarif::render_sarif(&ratchet))
+            .map_err(|e| format!("write {out}: {e}"))?;
     }
     if la.update_baseline {
         if !ratchet.ok() {

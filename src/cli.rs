@@ -111,6 +111,18 @@ impl Default for SweepControl {
     }
 }
 
+/// Report format for `fpb lint` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// Human-readable diagnostics (the default).
+    #[default]
+    Text,
+    /// The machine-readable `fpb-lint/v1` JSON report.
+    Json,
+    /// SARIF v2.1.0 for code-scanning UIs.
+    Sarif,
+}
+
 /// Options for `fpb lint`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintArgs {
@@ -118,10 +130,16 @@ pub struct LintArgs {
     pub root: String,
     /// Ratchet baseline path (relative paths resolve against `root`).
     pub baseline: String,
-    /// Emit the machine-readable JSON report instead of text diagnostics.
-    pub json: bool,
+    /// Report format printed to stdout (and written to `--out`).
+    pub format: LintFormat,
     /// Also write the report to this file.
     pub out: Option<String>,
+    /// Additionally write a SARIF report to this file, whatever `format`.
+    pub sarif_out: Option<String>,
+    /// Disable the incremental facts cache (forces a cold scan).
+    pub no_cache: bool,
+    /// Cache file override; defaults to `<root>/target/fpb-lint-cache.v1`.
+    pub cache: Option<String>,
     /// Rewrite the baseline to the current (never higher) counts.
     pub update_baseline: bool,
     /// Print the rule catalog and exit.
@@ -133,8 +151,11 @@ impl Default for LintArgs {
         LintArgs {
             root: ".".into(),
             baseline: "lint-baseline.toml".into(),
-            json: false,
+            format: LintFormat::Text,
             out: None,
+            sarif_out: None,
+            no_cache: false,
+            cache: None,
             update_baseline: false,
             rules: false,
         }
@@ -354,17 +375,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--root" => la.root = value("--root")?,
                     "--baseline" => la.baseline = value("--baseline")?,
                     "--format" => {
-                        la.json = match value("--format")?.as_str() {
-                            "json" => true,
-                            "text" => false,
+                        la.format = match value("--format")?.as_str() {
+                            "text" => LintFormat::Text,
+                            "json" => LintFormat::Json,
+                            "sarif" => LintFormat::Sarif,
                             other => {
                                 return Err(CliError(format!(
-                                    "--format must be `text` or `json`, got `{other}`"
+                                    "--format must be `text`, `json`, or `sarif`, got `{other}`"
                                 )))
                             }
                         }
                     }
                     "--out" => la.out = Some(value("--out")?),
+                    "--sarif-out" => la.sarif_out = Some(value("--sarif-out")?),
+                    "--no-cache" => la.no_cache = true,
+                    "--cache" => la.cache = Some(value("--cache")?),
                     "--update-baseline" => la.update_baseline = true,
                     "--rules" => la.rules = true,
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
@@ -634,7 +659,8 @@ USAGE:
               [--out BENCH_sweep.json] [--hotpath-out BENCH_hotpath.json]
   fpb list
   fpb record  --program <C.mcf|...> --ops <n> --out <file.fpbt>
-  fpb lint    [--format text|json] [--out <file>] [--update-baseline] [--rules]
+  fpb lint    [--format text|json|sarif] [--out <file>] [--sarif-out <file>]
+              [--no-cache] [--cache <file>] [--update-baseline] [--rules]
               [--root <dir>] [--baseline lint-baseline.toml]
 
 SCHEMES: --scheme takes a registry spec: BASE[:ARG...][+MOD...], e.g.
@@ -1118,8 +1144,9 @@ mod tests {
         let Command::Lint(la) = cmd else { unreachable!() };
         assert_eq!(la.root, ".");
         assert_eq!(la.baseline, "lint-baseline.toml");
-        assert!(!la.json && !la.update_baseline && !la.rules);
-        assert!(la.out.is_none());
+        assert_eq!(la.format, LintFormat::Text);
+        assert!(!la.no_cache && !la.update_baseline && !la.rules);
+        assert!(la.out.is_none() && la.sarif_out.is_none() && la.cache.is_none());
     }
 
     #[test]
@@ -1134,22 +1161,41 @@ mod tests {
             "/repo",
             "--baseline",
             "debt.toml",
+            "--sarif-out",
+            "lint.sarif",
+            "--cache",
+            "facts.v1",
+            "--no-cache",
             "--update-baseline",
         ]))
         .unwrap();
         let Command::Lint(la) = cmd else {
             panic!("expected lint")
         };
-        assert!(la.json && la.update_baseline);
+        assert_eq!(la.format, LintFormat::Json);
+        assert!(la.update_baseline && la.no_cache);
         assert_eq!(la.out.as_deref(), Some("lint.json"));
+        assert_eq!(la.sarif_out.as_deref(), Some("lint.sarif"));
+        assert_eq!(la.cache.as_deref(), Some("facts.v1"));
         assert_eq!(la.root, "/repo");
         assert_eq!(la.baseline, "debt.toml");
+    }
+
+    #[test]
+    fn lint_format_sarif_parses() {
+        let cmd = parse(&v(&["lint", "--format", "sarif"])).unwrap();
+        let Command::Lint(la) = cmd else {
+            panic!("expected lint")
+        };
+        assert_eq!(la.format, LintFormat::Sarif);
     }
 
     #[test]
     fn lint_rejects_bad_flags() {
         assert!(parse(&v(&["lint", "--format", "xml"])).is_err());
         assert!(parse(&v(&["lint", "--format"])).is_err());
+        assert!(parse(&v(&["lint", "--sarif-out"])).is_err());
+        assert!(parse(&v(&["lint", "--cache"])).is_err());
         assert!(parse(&v(&["lint", "--workload", "x"])).is_err());
     }
 }
