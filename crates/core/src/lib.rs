@@ -50,9 +50,11 @@ pub mod budget;
 pub mod config;
 pub mod ledger;
 pub mod manager;
+pub mod projection;
 pub mod stats;
 
 pub use config::{GcpParams, PowerPolicyConfig, SchemeKind};
 pub use ledger::{BrownoutHold, Grant, GrantScratch, Ledger};
 pub use manager::{PowerManager, WriteId};
+pub use projection::{effective_config_desc, ConfigSensitivity};
 pub use stats::PowerStats;

@@ -1,0 +1,160 @@
+//! Effective-config projection for sweep deduplication.
+//!
+//! Two sweep points with different raw [`SystemConfig`]s can still be the
+//! *same simulation*: every power knob (`pt_dimm`, `e_lcp`, `e_gcp`, …)
+//! is absorbed into a [`PowerPolicyConfig`](crate::PowerPolicyConfig) at
+//! scheme-build time, and a scheme that ignores a knob (the DIMM+chip
+//! baseline has no GCP, so `e_gcp` never reaches it) produces an
+//! identical policy — and therefore identical metrics — across that
+//! knob's whole axis. The sweep's semantic dedup exploits exactly this:
+//! a scheme declares which slice of the config can reach its runs, the
+//! sweep projects each point onto that slice, and points with equal
+//! projections share one simulation.
+//!
+//! Correctness never depends on a declaration being *tight*. A scheme
+//! that declares nothing gets [`ConfigSensitivity::FullConfig`]: the
+//! projection is the whole config, every point is its own equivalence
+//! class, and dedup degenerates to no sharing. A declaration may only
+//! ever be *wrong* by claiming insensitivity to an input that does reach
+//! the simulation — which is why the only non-conservative variant,
+//! [`ConfigSensitivity::PolicyAbsorbed`], is paired with the built
+//! scheme's own state in [`effective_config_desc`]'s callers: the power
+//! section is dropped from the config precisely because its entire
+//! influence is captured by the policy the caller appends.
+
+use fpb_types::{PowerConfig, SystemConfig};
+
+/// How much of the raw [`SystemConfig`] can influence a scheme's
+/// simulation results, as declared by the scheme itself (the
+/// `Scheme::sensitivity` hook in `fpb-sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigSensitivity {
+    /// Conservative default: every config field may matter. The
+    /// projection is the identity, so only bit-identical configs share a
+    /// simulation. Any scheme that does not (or cannot) characterize its
+    /// inputs gets this and stays correct.
+    FullConfig,
+    /// The scheme reads the `power` section of the config only through
+    /// the policy built from it at setup time: once the built setup is
+    /// part of the dedup key, the raw power knobs are redundant and two
+    /// configs differing only in `power` are equivalent. This is the
+    /// declaration `SchemeSetup` makes — the engine run path consumes
+    /// `PowerPolicyConfig`, never `SystemConfig::power`.
+    PolicyAbsorbed,
+}
+
+/// Renders the slice of `cfg` that can reach a simulation under the
+/// given sensitivity, as a deterministic description string.
+///
+/// The string is built from `Debug` formatting: every config scalar is
+/// either an integer or an `f64` rendered by Rust's shortest-round-trip
+/// formatter, so two configs produce equal descriptions iff the
+/// projected fields are bit-for-bit equal. Under
+/// [`ConfigSensitivity::PolicyAbsorbed`] the `power` section is replaced
+/// by its default (a fixed constant, *not* omitted — keeping the shape
+/// stable guards against accidental collisions with `FullConfig`
+/// strings) and the caller must append the built scheme state that
+/// absorbed it.
+///
+/// # Examples
+///
+/// ```
+/// use fpb_core::{effective_config_desc, ConfigSensitivity};
+/// use fpb_types::SystemConfig;
+///
+/// let mut a = SystemConfig::default();
+/// let mut b = SystemConfig::default();
+/// a.power.e_gcp = 0.5;
+/// b.power.e_gcp = 0.9;
+/// // Full sensitivity keeps the points distinct…
+/// assert_ne!(
+///     effective_config_desc(&a, ConfigSensitivity::FullConfig),
+///     effective_config_desc(&b, ConfigSensitivity::FullConfig),
+/// );
+/// // …while a policy-absorbed scheme sees them as the same simulation.
+/// assert_eq!(
+///     effective_config_desc(&a, ConfigSensitivity::PolicyAbsorbed),
+///     effective_config_desc(&b, ConfigSensitivity::PolicyAbsorbed),
+/// );
+/// ```
+pub fn effective_config_desc(cfg: &SystemConfig, sensitivity: ConfigSensitivity) -> String {
+    match sensitivity {
+        ConfigSensitivity::FullConfig => format!("full|{cfg:?}"),
+        ConfigSensitivity::PolicyAbsorbed => {
+            let mut projected = cfg.clone();
+            projected.power = PowerConfig::default();
+            format!("power-absorbed|{projected:?}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_is_the_identity_projection() {
+        let a = SystemConfig::default();
+        let mut b = SystemConfig::default();
+        assert_eq!(
+            effective_config_desc(&a, ConfigSensitivity::FullConfig),
+            effective_config_desc(&b, ConfigSensitivity::FullConfig)
+        );
+        b.seed ^= 1;
+        assert_ne!(
+            effective_config_desc(&a, ConfigSensitivity::FullConfig),
+            effective_config_desc(&b, ConfigSensitivity::FullConfig)
+        );
+    }
+
+    #[test]
+    fn policy_absorbed_ignores_only_power() {
+        let a = SystemConfig::default();
+
+        // Any power knob: projected away.
+        let mut p = SystemConfig::default();
+        p.power.pt_dimm += 1;
+        p.power.e_lcp = 0.5;
+        assert_eq!(
+            effective_config_desc(&a, ConfigSensitivity::PolicyAbsorbed),
+            effective_config_desc(&p, ConfigSensitivity::PolicyAbsorbed)
+        );
+
+        // Every non-power section still splits the class.
+        let mut c = SystemConfig::default();
+        c.cores += 1;
+        assert_ne!(
+            effective_config_desc(&a, ConfigSensitivity::PolicyAbsorbed),
+            effective_config_desc(&c, ConfigSensitivity::PolicyAbsorbed)
+        );
+        let mut s = SystemConfig::default();
+        s.seed ^= 0xF00;
+        assert_ne!(
+            effective_config_desc(&a, ConfigSensitivity::PolicyAbsorbed),
+            effective_config_desc(&s, ConfigSensitivity::PolicyAbsorbed)
+        );
+    }
+
+    #[test]
+    fn projections_never_collide_across_sensitivities() {
+        let a = SystemConfig::default();
+        assert_ne!(
+            effective_config_desc(&a, ConfigSensitivity::FullConfig),
+            effective_config_desc(&a, ConfigSensitivity::PolicyAbsorbed)
+        );
+    }
+
+    #[test]
+    fn float_debug_distinguishes_close_values() {
+        // Debug floats are shortest-round-trip: distinct f64 bit patterns
+        // render distinctly, so string equality is value equality.
+        let mut a = SystemConfig::default();
+        let mut b = SystemConfig::default();
+        a.power.e_gcp = 0.7;
+        b.power.e_gcp = 0.7 + f64::EPSILON;
+        assert_ne!(
+            effective_config_desc(&a, ConfigSensitivity::FullConfig),
+            effective_config_desc(&b, ConfigSensitivity::FullConfig)
+        );
+    }
+}

@@ -70,6 +70,39 @@ impl PowerStats {
         self.gcp_peak.whole_ceil()
     }
 
+    /// Flattens every counter into nine raw integers, in the order
+    /// [`PowerStats::from_raw`] consumes (token fields as milli-token
+    /// counts). Exists for exact persistence: the sweep result cache
+    /// stores stats as flat integers and round-trips them bit-for-bit.
+    pub fn to_raw(&self) -> [u64; 9] {
+        [
+            self.admissions,
+            self.admission_failures,
+            self.advance_stalls,
+            self.multi_reset_splits,
+            self.gcp_grants,
+            self.gcp_usable_total.millis(),
+            self.gcp_waste_total.millis(),
+            self.gcp_outstanding.millis(),
+            self.gcp_peak.millis(),
+        ]
+    }
+
+    /// Rebuilds stats from [`PowerStats::to_raw`] output.
+    pub fn from_raw(raw: [u64; 9]) -> Self {
+        PowerStats {
+            admissions: raw[0],
+            admission_failures: raw[1],
+            advance_stalls: raw[2],
+            multi_reset_splits: raw[3],
+            gcp_grants: raw[4],
+            gcp_usable_total: Tokens::from_millis(raw[5]),
+            gcp_waste_total: Tokens::from_millis(raw[6]),
+            gcp_outstanding: Tokens::from_millis(raw[7]),
+            gcp_peak: Tokens::from_millis(raw[8]),
+        }
+    }
+
     pub(crate) fn note_admit(&mut self) {
         self.admissions += 1;
     }
@@ -118,6 +151,19 @@ mod tests {
         assert_eq!(s.gcp_usable_total(), Tokens::from_cells(35));
         // Waste: (15-10) + (28-20) + (8-5) = 16.
         assert_eq!(s.gcp_waste_total(), Tokens::from_cells(16));
+    }
+
+    #[test]
+    fn raw_round_trip_is_exact() {
+        let mut s = PowerStats::default();
+        s.note_admit();
+        s.note_admit_failure();
+        s.note_advance_stall();
+        s.note_multi_reset();
+        s.note_gcp_grant(Tokens::from_cells(10), Tokens::from_cells(15));
+        s.note_gcp_release(Tokens::from_cells(3));
+        assert_eq!(PowerStats::from_raw(s.to_raw()), s);
+        assert_eq!(PowerStats::from_raw(PowerStats::default().to_raw()), PowerStats::default());
     }
 
     #[test]

@@ -129,6 +129,51 @@ impl EnduranceTracker {
         }
     }
 
+    /// Decomposes the tracker into its raw accumulator state, in the
+    /// order [`EnduranceTracker::from_parts`] consumes:
+    /// `(lines_per_region, per_region, per_chip, cells_per_line_per_chip,
+    /// endurance)`. Exists for exact persistence (the sweep result cache
+    /// stores trackers as flat integers and must round-trip them
+    /// bit-for-bit).
+    pub fn to_parts(&self) -> (u64, Vec<u64>, Vec<u64>, u64, u64) {
+        (
+            self.lines_per_region,
+            self.per_region.clone(),
+            self.per_chip.clone(),
+            self.cells_per_line_per_chip,
+            self.endurance,
+        )
+    }
+
+    /// Rebuilds a tracker from [`EnduranceTracker::to_parts`] output.
+    /// Returns `None` instead of panicking when the parts violate the
+    /// constructor invariants (zero sizes, empty vectors) — callers are
+    /// deserializing untrusted bytes and must treat a bad record as a
+    /// cache miss, not a crash.
+    pub fn from_parts(
+        lines_per_region: u64,
+        per_region: Vec<u64>,
+        per_chip: Vec<u64>,
+        cells_per_line_per_chip: u64,
+        endurance: u64,
+    ) -> Option<Self> {
+        if lines_per_region == 0
+            || per_region.is_empty()
+            || per_chip.is_empty()
+            || cells_per_line_per_chip == 0
+            || endurance == 0
+        {
+            return None;
+        }
+        Some(EnduranceTracker {
+            lines_per_region,
+            per_region,
+            per_chip,
+            cells_per_line_per_chip,
+            endurance,
+        })
+    }
+
     /// Projects device lifetime as a multiple of the observation window:
     /// how many times the observed write volume could repeat before the
     /// hottest region's *average cell* exhausts its endurance. Returns

@@ -11,6 +11,7 @@
 // timings are reporting-only and never feed simulation results, which the
 // serial-vs-parallel `identical` gate below proves.
 // fpb-lint: allow-file(determinism)
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use fpb_trace::catalog;
@@ -19,7 +20,7 @@ use fpb_types::SystemConfig;
 use crate::engine::SimOptions;
 use crate::metrics::json_string;
 use crate::scheme::SchemeSetup;
-use crate::sweep::{run_sweep_jobs, Axis, SweepPoint};
+use crate::sweep::{run_sweep_jobs_reuse, Axis, ReuseOptions, ReuseStats, SweepPoint};
 
 /// Workload the fixed benchmark grid runs (write-heavy, so the power
 /// budgeting hot paths dominate).
@@ -53,6 +54,42 @@ pub struct ScalingPoint {
     pub speedup: f64,
     /// Sweep throughput at this worker count, points per second.
     pub points_per_sec: f64,
+}
+
+/// A ladder rung `fpb bench` declined to time, with the reason — the
+/// honesty record for machines where a "parallel" rung could only ever
+/// re-measure the serial pass (one effective worker).
+#[derive(Debug, Clone)]
+pub struct SkippedRung {
+    /// Worker threads the skipped rung would have requested.
+    pub jobs: usize,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+/// Cold-vs-warm wall-clock of the persistent result cache: the same
+/// serial grid run twice against a private cache file, first empty
+/// (every unit simulates, then saves) and then fully populated (every
+/// unit splices).
+#[derive(Debug, Clone)]
+pub struct CacheRace {
+    /// Serial grid wall with an empty cache, milliseconds (includes the
+    /// cache save).
+    pub cold_ms: f64,
+    /// Serial grid wall with the populated cache, milliseconds.
+    pub warm_ms: f64,
+    /// Units answered from the cache on the warm pass.
+    pub warm_hits: usize,
+    /// Units simulated on the warm pass (0 when the cache fully covers
+    /// the grid).
+    pub warm_simulated: usize,
+}
+
+impl CacheRace {
+    /// `cold_ms / warm_ms` — how much the warm start saves.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(1e-9)
+    }
 }
 
 /// Per-point metric record kept in the report (everything here is a
@@ -148,8 +185,19 @@ pub struct BenchReport {
     /// The scaling curve: the pinned grid timed at each worker count of
     /// the ladder (1/2/4 plus the requested count when different).
     pub scaling: Vec<ScalingPoint>,
+    /// Ladder rungs skipped because they could not exercise any real
+    /// parallelism on this machine (empty on multi-core hosts).
+    pub skipped_rungs: Vec<SkippedRung>,
     /// The parallel-efficiency CI gate, read off the 4-job rung.
     pub efficiency: EfficiencyGate,
+    /// Semantic-dedup bookkeeping of the serial pass: how many engine
+    /// runs the grid asks for vs how many distinct simulations it needs.
+    pub reuse: ReuseStats,
+    /// Serial grid wall with dedup disabled (one run per simulation,
+    /// the pre-reuse behavior), milliseconds — the level-1 comparison.
+    pub no_reuse_serial_ms: f64,
+    /// The level-2 comparison: cold vs warm persistent-cache passes.
+    pub result_cache: CacheRace,
     /// Deterministic per-point metrics (serial pass).
     pub point_metrics: Vec<BenchPoint>,
 }
@@ -175,6 +223,45 @@ impl BenchReport {
             "    \"sim_cycles_per_sec\": {:.1},\n",
             self.sim_cycles_per_sec
         ));
+        s.push_str(&format!(
+            "    \"runs_total\": {},\n",
+            self.reuse.runs_total
+        ));
+        s.push_str(&format!(
+            "    \"points_unique\": {},\n",
+            self.reuse.runs_unique
+        ));
+        s.push_str(&format!(
+            "    \"dedup_ratio\": {:.3},\n",
+            self.reuse.dedup_ratio()
+        ));
+        s.push_str(&format!(
+            "    \"no_reuse_serial_ms\": {:.3},\n",
+            self.no_reuse_serial_ms
+        ));
+        s.push_str(&format!(
+            "    \"dedup_speedup\": {:.3},\n",
+            self.no_reuse_serial_ms / self.serial_ms.max(1e-9)
+        ));
+        s.push_str(&format!(
+            "    \"result_cache\": {{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"warm_hits\": {}, \"warm_simulated\": {}}},\n",
+            self.result_cache.cold_ms,
+            self.result_cache.warm_ms,
+            self.result_cache.speedup(),
+            self.result_cache.warm_hits,
+            self.result_cache.warm_simulated,
+        ));
+        s.push_str("    \"skipped_rungs\": [");
+        for (i, sk) in self.skipped_rungs.iter().enumerate() {
+            let comma = if i + 1 < self.skipped_rungs.len() { ", " } else { "" };
+            s.push_str(&format!(
+                "{{\"jobs\": {}, \"reason\": {}}}{comma}",
+                sk.jobs,
+                json_string(&sk.reason)
+            ));
+        }
+        s.push_str("],\n");
         s.push_str("    \"scaling\": [\n");
         for (i, r) in self.scaling.iter().enumerate() {
             let comma = if i + 1 < self.scaling.len() { "," } else { "" };
@@ -288,36 +375,64 @@ pub fn run_fixed_bench_repeats(
         ladder.sort_unstable();
     }
 
-    let sweep = |rung: usize| run_sweep_jobs(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, rung);
+    // Ladder rungs run with the shipping default — semantic dedup on,
+    // no persistent cache — so the scaling curve measures the profile a
+    // real `fpb sweep` has. The cache stays out of the ladder because a
+    // file warm-started by rung N would hollow out rung N+1.
+    let sweep = |rung: usize, reuse: &ReuseOptions| {
+        run_sweep_jobs_reuse(&wl, cfg.clone(), &axes, "fpb", "dimm-chip", &opts, rung, reuse)
+    };
+    let no_cache = ReuseOptions::default();
 
     if repeats > 1 {
         // Untimed warmup pass (results discarded).
-        let _ = sweep(jobs.max(1));
+        let _ = sweep(jobs.max(1), &no_cache);
     }
 
     // Serial rung first: its first pass is the bit-for-bit reference
     // every other pass (serial repeats included) is compared against.
     let t0 = Instant::now();
-    let serial = sweep(1);
+    let (serial, reuse_stats) = sweep(1, &no_cache);
     let mut serial_s = t0.elapsed().as_secs_f64();
     let mut identical = true;
     for _ in 1..repeats {
         let t = Instant::now();
-        let again = sweep(1);
+        let (again, _) = sweep(1, &no_cache);
         serial_s = serial_s.min(t.elapsed().as_secs_f64());
         identical &= points_identical(&serial, &again);
     }
 
+    // Level-1 comparison: the same serial grid with dedup off (one
+    // engine run per simulation, the pre-reuse behavior). Feeds the
+    // `identical` gate — reuse must never change bytes — and the
+    // `dedup_speedup` wall number.
+    let t = Instant::now();
+    let (no_reuse, _) = sweep(1, &ReuseOptions::disabled());
+    let no_reuse_serial_s = t.elapsed().as_secs_f64();
+    identical &= points_identical(&serial, &no_reuse);
+
     let mut scaling = Vec::with_capacity(ladder.len());
+    let mut skipped_rungs = Vec::new();
     let mut requested_s = serial_s;
     for &rung in &ladder {
         let rung_s = if rung == 1 {
             serial_s
+        } else if crate::exec::effective_workers(rung, serial.len()) <= 1 {
+            // Honesty over optics: with one effective worker this rung
+            // would re-time the serial pass and report it as "parallel".
+            skipped_rungs.push(SkippedRung {
+                jobs: rung,
+                reason: format!(
+                    "effective_workers=1 (detected_cores={detected_cores}): \
+                     rung would only re-measure the serial pass"
+                ),
+            });
+            continue;
         } else {
             let mut best = f64::INFINITY;
             for _ in 0..repeats {
                 let t = Instant::now();
-                let result = sweep(rung);
+                let (result, _) = sweep(rung, &no_cache);
                 best = best.min(t.elapsed().as_secs_f64());
                 identical &= points_identical(&serial, &result);
             }
@@ -334,6 +449,36 @@ pub fn run_fixed_bench_repeats(
         });
     }
     let parallel_s = requested_s;
+
+    // Level-2 comparison: cold vs warm persistent cache on a private
+    // file (unique per process *and* per call, so concurrently running
+    // bench tests never warm-start each other). Both passes feed the
+    // `identical` gate.
+    static CACHE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let cache_path = std::env::temp_dir().join(format!(
+        "fpb-bench-cache-{}-{}.v1",
+        std::process::id(),
+        // ORDER: pure uniqueness counter; no other memory access is
+        // sequenced against the ticket value.
+        CACHE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+    let with_cache = ReuseOptions { dedup: true, cache: Some(cache_path.clone()) };
+    let t = Instant::now();
+    let (cold, _) = sweep(1, &with_cache);
+    let cache_cold_s = t.elapsed().as_secs_f64();
+    identical &= points_identical(&serial, &cold);
+    let t = Instant::now();
+    let (warm, warm_stats) = sweep(1, &with_cache);
+    let cache_warm_s = t.elapsed().as_secs_f64();
+    identical &= points_identical(&serial, &warm);
+    let _ = std::fs::remove_file(&cache_path);
+    let result_cache = CacheRace {
+        cold_ms: cache_cold_s * 1e3,
+        warm_ms: cache_warm_s * 1e3,
+        warm_hits: warm_stats.cache_hits,
+        warm_simulated: warm_stats.simulated,
+    };
 
     // The efficiency gate reads the 4-job rung (always on the ladder).
     let gate_rung = scaling
@@ -378,7 +523,11 @@ pub fn run_fixed_bench_repeats(
         sim_cycles_per_sec: sim_cycles_total as f64 / serial_s.max(1e-9),
         identical,
         scaling,
+        skipped_rungs,
         efficiency,
+        reuse: reuse_stats,
+        no_reuse_serial_ms: no_reuse_serial_s * 1e3,
+        result_cache,
         point_metrics,
     })
 }
@@ -400,6 +549,17 @@ const HOTPATH_REPEATS: u32 = 5;
 
 /// Lines sampled / line writes built per micro-measurement.
 const HOTPATH_MICRO_ITERS: u32 = 2_000;
+
+/// Floor the line-write pooling micro must clear
+/// (`fresh_ms / pooled_ms`). Pooling exists for the engine's
+/// allocation-heavy steady state; in this isolated micro the pool's
+/// free-list hit and the allocator's own fast path are nearly tied, so
+/// the gate demands break-even within measurement noise rather than a
+/// phantom win. (The historical 0.961 reading was order bias: pooled
+/// and fresh were each timed in one sequential block, so whichever ran
+/// first absorbed the cold allocator; the race now alternates sides
+/// with min-of-N, like the engine race.)
+pub const LINE_WRITE_FLOOR: f64 = 0.97;
 
 /// The write-path performance report: the optimized path (word-level
 /// change sampling + pooled buffers + event-heap stepper) raced against
@@ -446,10 +606,13 @@ pub struct HotpathReport {
 }
 
 impl HotpathReport {
-    /// True iff every correctness gate holds. CI fails the bench job on
-    /// `false`.
+    /// True iff every correctness gate holds and the pooling micro
+    /// clears [`LINE_WRITE_FLOOR`]. CI fails the bench job on `false`.
     pub fn gates_pass(&self) -> bool {
-        self.stepper_identical && self.pooling_identical && self.sampler_equivalent
+        self.stepper_identical
+            && self.pooling_identical
+            && self.sampler_equivalent
+            && self.line_write_speedup >= LINE_WRITE_FLOOR
     }
 
     /// Full JSON document (written to `BENCH_hotpath.json`).
@@ -521,8 +684,13 @@ impl HotpathReport {
             self.pooling_identical
         ));
         s.push_str(&format!(
-            "    \"sampler_equivalent\": {}\n",
+            "    \"sampler_equivalent\": {},\n",
             self.sampler_equivalent
+        ));
+        s.push_str(&format!("    \"line_write_floor\": {LINE_WRITE_FLOOR},\n"));
+        s.push_str(&format!(
+            "    \"line_write_ok\": {}\n",
+            self.line_write_speedup >= LINE_WRITE_FLOOR
         ));
         s.push_str("  }\n}\n");
         s
@@ -652,6 +820,11 @@ pub fn run_hotpath_bench(instructions_per_core: u64) -> Option<HotpathReport> {
     let sampler_perbit_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // Component micro: LineWrite builds, pooled vs fresh allocation.
+    // Alternated min-of-N like the engine race above: timing each side
+    // in a single sequential block hands whichever runs second a warmed
+    // allocator (and parks transient machine load on one side only),
+    // which is exactly the order bias that once reported pooling as a
+    // phantom 4% regression.
     let geom = fpb_pcm::DimmGeometry::new(cfg.pcm.chips, cfg.pcm.cells_per_line());
     let sampler = fpb_pcm::IterationSampler::new(fpb_types::MlcWriteModel::default());
     let cells: Vec<(u32, fpb_pcm::MlcLevel)> = (0..256u32)
@@ -659,31 +832,34 @@ pub fn run_hotpath_bench(instructions_per_core: u64) -> Option<HotpathReport> {
         .collect();
     let mut pool = fpb_pcm::WriteBufferPool::new();
     let mut wrng = fpb_types::SimRng::seed_from(0x9C3);
-    let t = Instant::now();
-    for _ in 0..HOTPATH_MICRO_ITERS {
-        let w = pool.build(
-            &cells,
-            &geom,
-            fpb_pcm::CellMapping::Bim,
-            &sampler,
-            &mut wrng,
-            1,
-        );
-        pool.recycle(w);
+    let (mut line_write_pooled_ms, mut line_write_fresh_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..HOTPATH_REPEATS {
+        let t = Instant::now();
+        for _ in 0..HOTPATH_MICRO_ITERS {
+            let w = pool.build(
+                &cells,
+                &geom,
+                fpb_pcm::CellMapping::Bim,
+                &sampler,
+                &mut wrng,
+                1,
+            );
+            pool.recycle(w);
+        }
+        line_write_pooled_ms = line_write_pooled_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        for _ in 0..HOTPATH_MICRO_ITERS {
+            let _ = fpb_pcm::LineWrite::from_cells(
+                &cells,
+                &geom,
+                fpb_pcm::CellMapping::Bim,
+                &sampler,
+                &mut wrng,
+                1,
+            );
+        }
+        line_write_fresh_ms = line_write_fresh_ms.min(t.elapsed().as_secs_f64() * 1e3);
     }
-    let line_write_pooled_ms = t.elapsed().as_secs_f64() * 1e3;
-    let t = Instant::now();
-    for _ in 0..HOTPATH_MICRO_ITERS {
-        let _ = fpb_pcm::LineWrite::from_cells(
-            &cells,
-            &geom,
-            fpb_pcm::CellMapping::Bim,
-            &sampler,
-            &mut wrng,
-            1,
-        );
-    }
-    let line_write_fresh_ms = t.elapsed().as_secs_f64() * 1e3;
 
     Some(HotpathReport {
         workload: wl.name.to_string(),
@@ -719,9 +895,27 @@ mod tests {
         assert_eq!(r.point_metrics.len(), 36);
         assert!(r.sim_cycles_total > 0);
         assert!(r.point_metrics.iter().all(|p| p.cycles > 0));
-        // The ladder covers 1/2/4 exactly (2 is already a rung).
+        // The ladder covers 1/2/4 exactly (2 is already a rung) — on a
+        // multi-core machine; single-core hosts skip the parallel rungs
+        // honestly instead.
         let rungs: Vec<usize> = r.scaling.iter().map(|p| p.jobs).collect();
-        assert_eq!(rungs, vec![1, 2, 4]);
+        if crate::exec::effective_workers(2, r.points) > 1 {
+            assert_eq!(rungs, vec![1, 2, 4]);
+            assert!(r.skipped_rungs.is_empty());
+        } else {
+            assert_eq!(rungs, vec![1]);
+            assert_eq!(r.skipped_rungs.len(), 2);
+        }
+        // Reuse bookkeeping: the grid asks for 2 runs per point; dedup
+        // must collapse at least the shared-baseline classes, and the
+        // warm cache pass must splice everything.
+        assert_eq!(r.reuse.runs_total, 2 * r.points);
+        assert!(r.reuse.runs_unique < r.reuse.runs_total);
+        assert!(r.reuse.dedup_ratio() > 1.0);
+        assert!(r.no_reuse_serial_ms > 0.0);
+        assert_eq!(r.result_cache.warm_simulated, 0, "warm pass re-simulated");
+        assert_eq!(r.result_cache.warm_hits, r.reuse.runs_unique);
+        assert!(r.result_cache.cold_ms > 0.0 && r.result_cache.warm_ms > 0.0);
         assert!((r.scaling[0].speedup - 1.0).abs() < 1e-9, "serial rung is the reference");
         assert!(r.scaling.iter().all(|p| p.ms > 0.0 && p.points_per_sec > 0.0));
         assert!(r.detected_cores >= 1);
@@ -730,6 +924,9 @@ mod tests {
 
     #[test]
     fn requested_jobs_joins_the_ladder() {
+        if crate::exec::effective_workers(2, 36) <= 1 {
+            return; // single-core host: parallel rungs are skipped
+        }
         let r = run_fixed_bench_repeats(3, 800, 1).unwrap();
         let rungs: Vec<usize> = r.scaling.iter().map(|p| p.jobs).collect();
         assert_eq!(rungs, vec![1, 2, 3, 4]);
@@ -741,6 +938,9 @@ mod tests {
 
     #[test]
     fn efficiency_gate_reads_the_4_job_rung() {
+        if crate::exec::effective_workers(2, 36) <= 1 {
+            return; // single-core host: the 4-job rung is skipped
+        }
         let r = run_fixed_bench_repeats(2, 800, 1).unwrap();
         assert_eq!(r.efficiency.jobs, 4);
         let expect = crate::exec::effective_workers(4, r.points);
@@ -777,12 +977,23 @@ mod tests {
         assert!(j.contains("\"repeats\": 1"));
         assert!(j.contains("\"scaling\": ["));
         assert!(j.contains("{\"jobs\": 1, \"ms\": "));
-        assert!(j.contains("{\"jobs\": 4, \"ms\": "));
+        // Parallel rungs appear either in the scaling curve (multi-core)
+        // or in the skip record (single effective worker) — never lost.
+        assert!(
+            j.contains("{\"jobs\": 4, \"ms\": ")
+                || j.contains("{\"jobs\": 4, \"reason\": "),
+            "the 4-job rung vanished from both scaling and skipped_rungs"
+        );
         assert!(j.contains("\"efficiency_gate\": {"));
         assert!(j.contains("\"effective_workers\": "));
         assert!(j.contains("\"required_speedup\": "));
         assert!(j.contains("\"point_metrics\""));
         assert!(j.contains("\"identical\": true"));
+        assert!(j.contains("\"points_unique\": "));
+        assert!(j.contains("\"dedup_ratio\": "));
+        assert!(j.contains("\"no_reuse_serial_ms\": "));
+        assert!(j.contains("\"result_cache\": {\"cold_ms\": "));
+        assert!(j.contains("\"skipped_rungs\": ["));
         // The metric subset must not mention wall-clock fields.
         let m = r.metric_fields_json(0);
         assert!(!m.contains("_ms"));
@@ -805,6 +1016,11 @@ mod tests {
         assert!(r.stepper_identical, "heap stepper diverged from scan");
         assert!(r.pooling_identical, "pooled buffers diverged from fresh");
         assert!(r.sampler_equivalent, "sampler drifted distributionally");
+        assert!(
+            r.line_write_speedup >= LINE_WRITE_FLOOR,
+            "pooled line-write build regressed past the floor: {:.3}",
+            r.line_write_speedup
+        );
         assert!(r.gates_pass());
         assert!(r.engine_optimized_ms > 0.0 && r.engine_reference_ms > 0.0);
         assert!(r.pool_reuses > 0, "pool never recycled a buffer");
@@ -814,5 +1030,7 @@ mod tests {
         assert!(j.contains("\"stepper_identical\": true"));
         assert!(j.contains("\"pooling_identical\": true"));
         assert!(j.contains("\"sampler_equivalent\": true"));
+        assert!(j.contains("\"line_write_floor\": 0.97"));
+        assert!(j.contains("\"line_write_ok\": true"));
     }
 }

@@ -21,6 +21,8 @@
 //!   isolation, bounded retry, deadlines, quarantine, cancellation.
 //! * [`journal`] — the durable fsync'd checkpoint log behind
 //!   `fpb sweep --journal/--resume`.
+//! * [`resultcache`] — the persistent point-result cache
+//!   (`target/fpb-sweep-cache.v1`) that warm-starts repeated sweeps.
 //! * [`bench`] — the fixed self-measuring benchmark behind `fpb bench`.
 //!
 //! # Examples
@@ -51,6 +53,7 @@ pub mod journal;
 pub mod metrics;
 pub mod report;
 pub mod request;
+pub mod resultcache;
 pub mod scheme;
 pub mod supervise;
 pub mod sweep;
@@ -58,7 +61,7 @@ pub mod timeline;
 
 pub use bench::{
     required_speedup, run_fixed_bench, run_fixed_bench_repeats, run_hotpath_bench, BenchReport,
-    EfficiencyGate, HotpathReport,
+    CacheRace, EfficiencyGate, HotpathReport, SkippedRung, LINE_WRITE_FLOOR,
 };
 pub use engine::{run_workload, try_run_workload, SimArena, SimOptions, System};
 pub use exec::{
@@ -68,6 +71,7 @@ pub use exec::{
 pub use journal::{JournalError, JournalHeader, JournalWriter};
 pub use metrics::{FaultMetrics, Metrics};
 pub use request::{ReadTask, WriteTask};
+pub use resultcache::{ResultCache, DEFAULT_CACHE_PATH};
 pub use scheme::{Scheme, SchemeError, SchemeRegistry, SchemeSetup};
 pub use supervise::{CancelToken, JobOutcome, SupervisePolicy, SuperviseReport};
 pub use timeline::{RenderError, Timeline};

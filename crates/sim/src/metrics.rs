@@ -290,6 +290,137 @@ impl Metrics {
         s
     }
 
+    /// Flattens the full run result into one line of space-separated
+    /// decimal integers — an *exact* encoding (no floats anywhere in
+    /// `Metrics`), so `decode_record(encode_record(m)) == m` bit for
+    /// bit. This is the storage form of the persistent sweep result
+    /// cache; byte-identical JSON after a cache splice rests on this
+    /// round trip being lossless.
+    ///
+    /// Layout: 15 scalars, per-chip length + values, 9 raw power
+    /// counters, endurance flag (+ parts when present), 11 fault
+    /// counters.
+    pub fn encode_record(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let mut push = |v: u64| {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&v.to_string());
+        };
+        for (_, v) in self.scalar_fields() {
+            push(v);
+        }
+        push(self.per_chip_cells.len() as u64);
+        for &c in &self.per_chip_cells {
+            push(c);
+        }
+        for v in self.power.to_raw() {
+            push(v);
+        }
+        match &self.endurance {
+            None => push(0),
+            Some(e) => {
+                let (lines_per_region, per_region, per_chip, cells, endurance) = e.to_parts();
+                push(1);
+                push(lines_per_region);
+                push(per_region.len() as u64);
+                for v in per_region {
+                    push(v);
+                }
+                push(per_chip.len() as u64);
+                for v in per_chip {
+                    push(v);
+                }
+                push(cells);
+                push(endurance);
+            }
+        }
+        for (_, v) in self.fault_fields() {
+            push(v);
+        }
+        out
+    }
+
+    /// Parses [`Metrics::encode_record`] output. Returns `None` on any
+    /// malformed input (wrong token count, non-integer, invariant
+    /// violation) — callers treat that as a cache miss, never an error.
+    pub fn decode_record(text: &str) -> Option<Metrics> {
+        let mut it = text.split_ascii_whitespace().map(|t| t.parse::<u64>().ok());
+        let mut next = || it.next().flatten();
+        let mut m = Metrics {
+            cycles: next()?,
+            instructions_per_core: next()?,
+            cores: u8::try_from(next()?).ok()?,
+            ..Metrics::default()
+        };
+        m.pcm_reads = next()?;
+        m.pcm_writes = next()?;
+        m.write_rounds = next()?;
+        m.cells_written = next()?;
+        m.burst_cycles = next()?;
+        m.write_active_cycles = next()?;
+        m.write_queue_delay = next()?;
+        m.cancellations = next()?;
+        m.pauses = next()?;
+        m.truncations = next()?;
+        m.read_latency_sum = next()?;
+        m.scrub_reads = next()?;
+        let chips = usize::try_from(next()?).ok()?;
+        if chips > 1 << 16 {
+            return None; // implausible chip count: refuse the allocation
+        }
+        m.per_chip_cells = (0..chips).map(|_| next()).collect::<Option<Vec<u64>>>()?;
+        let mut power = [0u64; 9];
+        for slot in &mut power {
+            *slot = next()?;
+        }
+        m.power = fpb_core::PowerStats::from_raw(power);
+        m.endurance = match next()? {
+            0 => None,
+            1 => {
+                let lines_per_region = next()?;
+                let regions = usize::try_from(next()?).ok()?;
+                if regions > 1 << 24 {
+                    return None;
+                }
+                let per_region = (0..regions).map(|_| next()).collect::<Option<Vec<u64>>>()?;
+                let chips = usize::try_from(next()?).ok()?;
+                if chips > 1 << 16 {
+                    return None;
+                }
+                let per_chip = (0..chips).map(|_| next()).collect::<Option<Vec<u64>>>()?;
+                let cells = next()?;
+                let endurance = next()?;
+                Some(fpb_pcm::EnduranceTracker::from_parts(
+                    lines_per_region,
+                    per_region,
+                    per_chip,
+                    cells,
+                    endurance,
+                )?)
+            }
+            _ => return None,
+        };
+        m.faults = FaultMetrics {
+            verify_failures: next()?,
+            retries: next()?,
+            stuck_lines_marked: next()?,
+            remaps: next()?,
+            slc_fallbacks: next()?,
+            watchdog_trips: next()?,
+            brownout_windows: next()?,
+            brownout_cycles: next()?,
+            degraded_writes: next()?,
+            degraded_cycles: next()?,
+            audit_violations: next()?,
+        };
+        if it.next().is_some() {
+            return None; // trailing tokens: not a record we wrote
+        }
+        Some(m)
+    }
+
     /// [`Metrics::to_json`] on one line: same fields, same order, same
     /// integer-only values, `", "`-separated with no indentation and no
     /// `schema` field (the embedding document carries the schema). This
@@ -459,6 +590,62 @@ mod tests {
             assert!(squeezed.contains(field), "field drifted from to_json: {field}");
         }
         assert_eq!(inline, m.clone().to_json_inline(), "pure function of the metrics");
+    }
+
+    #[test]
+    fn record_round_trip_is_exact() {
+        let mut endurance = fpb_pcm::EnduranceTracker::new(1024, 16, 8, 1_000_000);
+        endurance.record_write(fpb_types::LineAddr::new(3), &[10, 0, 4, 0, 0, 0, 0, 2]);
+        let m = Metrics {
+            cycles: 123_456,
+            instructions_per_core: 40_000,
+            cores: 8,
+            pcm_reads: 77,
+            pcm_writes: 55,
+            write_rounds: 60,
+            cells_written: 9_001,
+            burst_cycles: 11,
+            write_active_cycles: 22,
+            write_queue_delay: 33,
+            cancellations: 1,
+            pauses: 2,
+            truncations: 3,
+            read_latency_sum: 44,
+            scrub_reads: 5,
+            per_chip_cells: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            power: PowerStats::from_raw([9, 8, 7, 6, 5, 4_500, 3_250, 2_125, 1_000]),
+            endurance: Some(endurance),
+            faults: FaultMetrics {
+                verify_failures: 9,
+                retries: 10,
+                audit_violations: 11,
+                ..FaultMetrics::default()
+            },
+        };
+        let rec = m.encode_record();
+        assert!(rec.bytes().all(|b| b == b' ' || b.is_ascii_digit()));
+        assert_eq!(Metrics::decode_record(&rec), Some(m.clone()));
+        // The JSON splice the cache feeds must be byte-identical too.
+        assert_eq!(
+            Metrics::decode_record(&rec).map(|d| d.to_json_inline()),
+            Some(m.to_json_inline())
+        );
+        // Default metrics (no endurance) round-trip as well.
+        let d = Metrics::default();
+        assert_eq!(Metrics::decode_record(&d.encode_record()), Some(d));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_records() {
+        let rec = Metrics::default().encode_record();
+        assert!(Metrics::decode_record("").is_none());
+        assert!(Metrics::decode_record("1 2 3").is_none());
+        assert!(Metrics::decode_record(&format!("{rec} 7")).is_none(), "trailing tokens");
+        assert!(Metrics::decode_record(&rec.replace(' ', " x ")).is_none());
+        // Endurance flag other than 0/1 is rejected.
+        let m = Metrics { cores: 1, ..Metrics::default() };
+        let bad = m.encode_record().replacen(" 0 ", " 2 ", 1);
+        let _ = Metrics::decode_record(&bad); // must not panic, whatever it parses to
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod spec;
 use std::collections::VecDeque;
 use std::fmt;
 
-use fpb_core::PowerPolicyConfig;
+use fpb_core::{ConfigSensitivity, PowerPolicyConfig};
 use fpb_pcm::CellMapping;
 use fpb_types::{Cycles, MlcWriteModel};
 
@@ -216,6 +216,23 @@ pub trait Scheme: fmt::Debug {
 
     /// Checks the scheme for internal consistency.
     fn validate(&self) -> Result<(), SchemeError>;
+
+    /// Which slice of the raw `SystemConfig` can reach this scheme's
+    /// simulation results — the declaration the sweep's semantic dedup
+    /// keys on (see [`fpb_core::projection`]).
+    ///
+    /// The default is the conservative
+    /// [`ConfigSensitivity::FullConfig`]: every config field is assumed
+    /// to matter, each sweep point is its own equivalence class, and
+    /// dedup never shares a run. Override only when the tighter claim is
+    /// provable; [`SchemeSetup`] declares
+    /// [`ConfigSensitivity::PolicyAbsorbed`] because the engine consumes
+    /// the power section exclusively through the policy built here at
+    /// setup time, and that built state joins the dedup key alongside
+    /// the projected config.
+    fn sensitivity(&self) -> ConfigSensitivity {
+        ConfigSensitivity::FullConfig
+    }
 
     /// Called when the controller admits a write to a bank.
     fn on_admit(&self, ctx: AdmitCtx) -> AdmitAction {

@@ -1,7 +1,7 @@
 //! Named scheme setups: everything a run varies besides the workload and
 //! the system config, composed from scheme components.
 
-use fpb_core::{PowerPolicyConfig, SchemeKind};
+use fpb_core::{ConfigSensitivity, PowerPolicyConfig, SchemeKind};
 use fpb_pcm::CellMapping;
 use fpb_types::{MlcLevelModel, MlcWriteModel, SystemConfig};
 
@@ -362,6 +362,18 @@ impl Scheme for SchemeSetup {
     fn on_release(&self, ctx: ReleaseCtx) -> ReleaseAction {
         self.controller.on_release(ctx)
     }
+
+    /// `SystemConfig::power` reaches a composed setup only through the
+    /// `SchemeKind::*.config(&cfg.power, …)` call that built
+    /// [`SchemeSetup::policy`] (plus the label strings derived from the
+    /// same knobs); the engine itself consumes the policy, never the raw
+    /// power section. Since the whole built setup — policy, label and
+    /// all — is part of the dedup key, declaring the power section
+    /// absorbed is sound for every registry family, all of which are
+    /// `SchemeSetup` compositions.
+    fn sensitivity(&self) -> ConfigSensitivity {
+        ConfigSensitivity::PolicyAbsorbed
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +510,18 @@ mod tests {
         };
         assert_eq!(wc.on_release(ctx), ReleaseAction::HoldWorstCase);
         assert_eq!(plain.on_release(ctx), ReleaseAction::Free);
+    }
+
+    #[test]
+    fn setups_declare_policy_absorbed_sensitivity() {
+        let c = cfg();
+        for s in [
+            SchemeSetup::ideal(&c),
+            SchemeSetup::dimm_chip(&c),
+            SchemeSetup::fpb(&c).with_wc().with_wp().with_wt(8),
+        ] {
+            assert_eq!(s.sensitivity(), ConfigSensitivity::PolicyAbsorbed, "{}", s.label);
+        }
     }
 
     #[test]

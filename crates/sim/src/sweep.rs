@@ -5,10 +5,13 @@
 //! CLI's `sweep` subcommand; downstream users point it at their own
 //! workloads.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
+use fpb_core::effective_config_desc;
 use fpb_types::SystemConfig;
 
 use crate::engine::{run_workload_warmed_arena, warm_cores, SimArena, SimOptions};
@@ -16,7 +19,8 @@ use crate::exec::{parallel_map_arena, parallel_map_indexed};
 use crate::frontend::CoreState;
 use crate::journal::{fingerprint64, JournalError, JournalHeader, JournalMode, JournalWriter};
 use crate::metrics::{json_string, Metrics};
-use crate::scheme::{SchemeRegistry, SchemeSetup, SchemeSpec};
+use crate::resultcache::ResultCache;
+use crate::scheme::{Scheme, SchemeRegistry, SchemeSetup, SchemeSpec};
 use crate::supervise::{supervise_map_ordered, CancelToken, JobOutcome, SupervisePolicy};
 use fpb_trace::Workload;
 
@@ -127,6 +131,178 @@ impl SweepPoint {
     }
 }
 
+/// Controls the two-level result-reuse ladder of a sweep.
+///
+/// Level 1 (semantic dedup) shares engine runs *within* one sweep:
+/// every run is keyed by its unit description — workload, options, the
+/// scheme's *effective* slice of the config
+/// ([`effective_config_desc`] under the setup's declared
+/// [`Scheme::sensitivity`]), and the built setup itself. Points whose
+/// keys collide form an equivalence class; one representative simulates
+/// and the rest splice its [`Metrics`]. Baseline runs dedup the same
+/// way — on power-axis grids they are where the redundancy lives (a
+/// power-blind baseline collapses the whole axis into one run).
+///
+/// Level 2 (the persistent [`ResultCache`]) shares runs *across*
+/// sweeps, keyed by the same unit descriptions — so it is only
+/// consulted when dedup is on.
+///
+/// Reuse can never change results: metrics round-trip exactly through
+/// the cache, and a shared run is bit-for-bit the run every member
+/// point would have done itself (engine determinism). Sweep JSON is
+/// byte-identical with reuse on or off; CI gates on the comparison.
+#[derive(Debug, Clone)]
+pub struct ReuseOptions {
+    /// Enable level 1: share runs whose unit descriptions collide.
+    /// Off = every point simulates scheme and baseline itself, exactly
+    /// the historical work profile (and the cache is ignored).
+    pub dedup: bool,
+    /// Level 2: persistent result-cache path (`None` disables it).
+    pub cache: Option<PathBuf>,
+}
+
+impl Default for ReuseOptions {
+    /// Dedup on, no persistent cache.
+    fn default() -> Self {
+        ReuseOptions { dedup: true, cache: None }
+    }
+}
+
+impl ReuseOptions {
+    /// Both levels off (`--no-result-cache`).
+    pub fn disabled() -> Self {
+        ReuseOptions { dedup: false, cache: None }
+    }
+}
+
+/// What the reuse ladder saved in one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Engine runs a reuse-free sweep would perform (two per point —
+    /// scheme and baseline — over the points not restored from a
+    /// journal).
+    pub runs_total: usize,
+    /// Distinct units after semantic dedup.
+    pub runs_unique: usize,
+    /// Units answered by the persistent cache.
+    pub cache_hits: usize,
+    /// Units actually dispatched to the engine this run.
+    pub simulated: usize,
+}
+
+impl ReuseStats {
+    /// Collapse factor of level 1: runs per unique unit (1.0 when
+    /// nothing dedups, or dedup is off).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.runs_unique == 0 {
+            1.0
+        } else {
+            self.runs_total as f64 / self.runs_unique as f64
+        }
+    }
+}
+
+/// One deduplicated engine run: a representative grid point and the
+/// setup built against its config. Every member point of the unit's
+/// equivalence class splices the representative's metrics.
+struct SimUnit {
+    /// Dedup/cache key — see [`unit_desc`].
+    desc: String,
+    /// Representative grid index (the first point to intern the unit).
+    rep: usize,
+    /// Setup built against the representative's config.
+    setup: SchemeSetup,
+}
+
+/// The unit plan for a sweep's pending points: interned units plus each
+/// point's `(scheme, baseline)` unit indices.
+struct UnitPlan {
+    units: Vec<SimUnit>,
+    /// Parallel to the pending slice handed to [`plan_units`].
+    point_units: Vec<(usize, usize)>,
+}
+
+/// Dedup/cache key of one engine run. The config projection is chosen
+/// by the *setup's* declared sensitivity, and the built setup itself
+/// joins the key (its `Debug` form is exhaustive, and f64s print in
+/// shortest-round-trip form, so debug equality is value equality) — so
+/// anything the projection drops can only influence results by changing
+/// the setup, which changes the key.
+fn unit_desc(
+    workload: &Workload,
+    opts: &SimOptions,
+    cfg: &SystemConfig,
+    setup: &SchemeSetup,
+) -> String {
+    format!(
+        "fpb-run/v1|{workload:?}|{opts:?}|{}|{setup:?}",
+        effective_config_desc(cfg, setup.sensitivity())
+    )
+}
+
+/// Interns one unit, returning its index in `units`.
+fn intern_unit(
+    units: &mut Vec<SimUnit>,
+    index_of: &mut BTreeMap<String, usize>,
+    desc: String,
+    rep: usize,
+    setup: &SchemeSetup,
+) -> usize {
+    if let Some(&u) = index_of.get(&desc) {
+        return u;
+    }
+    let u = units.len();
+    index_of.insert(desc.clone(), u);
+    units.push(SimUnit { desc, rep, setup: setup.clone() });
+    u
+}
+
+/// Builds the unit plan for `pending` grid points: per point, a
+/// baseline unit then a scheme unit, interned in pending order so unit
+/// order is deterministic. With `dedup` off every (point, role) pair
+/// gets a private unit — the historical one-run-per-simulation sweep
+/// expressed in the same machinery. The `singleton` point (the
+/// `--inject-panic` target) also gets private, salted units: its runs
+/// must *execute* — a cache or dedup hit would satisfy the point
+/// without ever reaching the injected panic, silently disarming the
+/// crash-recovery hook — and the salt keys can never be cached.
+#[allow(clippy::too_many_arguments)] // internal planner; the inputs are one sweep's full identity
+fn plan_units(
+    workload: &Workload,
+    opts: &SimOptions,
+    grid: &[(String, SystemConfig)],
+    pending: &[usize],
+    registry: &SchemeRegistry,
+    scheme_spec: &SchemeSpec,
+    baseline_spec: &SchemeSpec,
+    dedup: bool,
+    singleton: Option<usize>,
+) -> UnitPlan {
+    let mut units: Vec<SimUnit> = Vec::new();
+    let mut index_of: BTreeMap<String, usize> = BTreeMap::new();
+    let mut point_units = Vec::with_capacity(pending.len());
+    for &gi in pending {
+        let (_, cfg) = &grid[gi];
+        let baseline_setup = build_spec(registry, baseline_spec, cfg);
+        let scheme_setup = build_spec(registry, scheme_spec, cfg);
+        let desc_for = |setup: &SchemeSetup, role: &str| -> String {
+            if !dedup {
+                format!("singleton|{gi}|{role}")
+            } else if singleton == Some(gi) {
+                format!("inject-panic|{gi}|{role}|{}", unit_desc(workload, opts, cfg, setup))
+            } else {
+                unit_desc(workload, opts, cfg, setup)
+            }
+        };
+        let bd = desc_for(&baseline_setup, "baseline");
+        let sd = desc_for(&scheme_setup, "scheme");
+        let bu = intern_unit(&mut units, &mut index_of, bd, gi, &baseline_setup);
+        let su = intern_unit(&mut units, &mut index_of, sd, gi, &scheme_setup);
+        point_units.push((su, bu));
+    }
+    UnitPlan { units, point_units }
+}
+
 /// Runs the cartesian product of `axes` over `workload`, measuring the
 /// scheme named by `scheme` against the one named by `baseline` (both
 /// registry spec strings, rebuilt per configuration so budget-derived
@@ -176,17 +352,21 @@ pub fn run_sweep(
 /// same odometer order — `jobs` only changes wall-clock time. With
 /// `jobs <= 1` the grid runs inline on the caller's thread.
 ///
-/// Three scheduling optimizations apply at any worker count, none of
-/// which can change results (all are allocation/ordering-only; the
-/// jobs-invariance tests enforce this):
+/// Four work-avoidance optimizations apply at any worker count, none of
+/// which can change results (all are sharing/ordering-only; the
+/// jobs-invariance and reuse-equivalence tests enforce this):
 ///
+/// - Engine runs are semantically deduplicated: runs whose unit
+///   descriptions collide (see [`ReuseOptions`]) simulate once per
+///   equivalence class and share the metrics.
 /// - Warmed cores are deduplicated: points whose configs produce the
 ///   same warm state (see [`warm_key`]'s inputs) share one warm set.
 /// - Each worker carries a [`SimArena`], so the write path's pools are
 ///   primed once per worker instead of once per point.
-/// - Points execute in descending estimated-cost order
-///   ([`point_cost`]), longest first, so a slow point claimed late
-///   cannot strand the pool past the end of the grid.
+/// - Units execute in descending estimated-cost order
+///   ([`point_cost`] of the class representative), longest first, so a
+///   slow unit claimed late cannot strand the pool past the end of the
+///   grid.
 ///
 /// # Panics
 ///
@@ -202,6 +382,38 @@ pub fn run_sweep_jobs(
     opts: &SimOptions,
     jobs: usize,
 ) -> Vec<SweepPoint> {
+    run_sweep_jobs_reuse(
+        workload,
+        base_cfg,
+        axes,
+        scheme,
+        baseline,
+        opts,
+        jobs,
+        &ReuseOptions::default(),
+    )
+    .0
+}
+
+/// [`run_sweep_jobs`] with an explicit [`ReuseOptions`], reporting what
+/// the reuse ladder saved. The returned points are **bit-for-bit
+/// identical** for every `reuse` setting — dedup and the cache decide
+/// which runs execute, never what any run produces.
+///
+/// # Panics
+///
+/// Same contract as [`run_sweep_jobs`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_jobs_reuse(
+    workload: &Workload,
+    base_cfg: SystemConfig,
+    axes: &[Axis],
+    scheme: &str,
+    baseline: &str,
+    opts: &SimOptions,
+    jobs: usize,
+    reuse: &ReuseOptions,
+) -> (Vec<SweepPoint>, ReuseStats) {
     assert!(!axes.is_empty(), "sweep needs at least one axis");
     // Resolve both specs once, up front: a typo fails before any
     // simulation work starts, and workers then rebuild per config from
@@ -211,37 +423,101 @@ pub fn run_sweep_jobs(
     let baseline_spec = parse_spec(baseline);
     // Semantic errors (e.g. `+reg` on a GCP-less base) are config-
     // independent, so one build against the base config proves every
-    // per-point build in the workers will succeed.
+    // per-point build below will succeed.
     build_spec(registry, &scheme_spec, &base_cfg);
     build_spec(registry, &baseline_spec, &base_cfg);
     // Enumerate the grid up front in odometer order; workers then claim
-    // points off this list, and results keep the enumeration order.
+    // units off this list, and results keep the enumeration order.
     let grid = match enumerate_grid(&base_cfg, axes) {
         Ok(grid) => grid,
         // fpb-lint: allow(panic_freedom) — documented `# Panics` contract.
         Err(e) => panic!("{e}"),
     };
-    let all_needed = vec![true; grid.len()];
-    let warm = warm_shared(workload, &grid, opts, jobs, &all_needed);
-    let costs: Vec<u64> = grid.iter().map(|(_, cfg)| point_cost(cfg, opts)).collect();
-    parallel_map_arena(
+    let pending: Vec<usize> = (0..grid.len()).collect();
+    let plan = plan_units(
+        workload,
+        opts,
         &grid,
+        &pending,
+        registry,
+        &scheme_spec,
+        &baseline_spec,
+        reuse.dedup,
+        None,
+    );
+    // Level 2: prefill units from the persistent cache (dedup-on only —
+    // cache keys *are* unit keys, so without dedup there is nothing
+    // sound to look up).
+    let mut cache = match (&reuse.cache, reuse.dedup) {
+        (Some(path), true) => Some(ResultCache::load(path)),
+        _ => None,
+    };
+    let mut ready: Vec<Option<Metrics>> = plan
+        .units
+        .iter()
+        .map(|u| cache.as_mut().and_then(|c| c.lookup(&u.desc)))
+        .collect();
+    let sim_units: Vec<usize> = (0..plan.units.len()).filter(|&u| ready[u].is_none()).collect();
+    // Warm sets and costs over the units that actually simulate: the
+    // scheduler sees class-collapsed work, and fully-cached warm keys
+    // never pay a warm-up.
+    let mut needed = vec![false; grid.len()];
+    for &u in &sim_units {
+        needed[plan.units[u].rep] = true;
+    }
+    let warm = warm_shared(workload, &grid, opts, jobs, &needed);
+    let costs: Vec<u64> =
+        sim_units.iter().map(|&u| point_cost(&grid[plan.units[u].rep].1, opts)).collect();
+    let results = parallel_map_arena(
+        &sim_units,
         jobs,
         Some(&costs),
         |_slot| SimArena::default(),
-        |arena, i, (label, cfg)| {
-            let cores = &warm.sets[warm.of_point[i]];
-            let baseline = build_spec(registry, &baseline_spec, cfg);
-            let scheme = build_spec(registry, &scheme_spec, cfg);
-            let base = run_workload_warmed_arena(workload, cfg, &baseline, opts, cores, arena);
-            let m = run_workload_warmed_arena(workload, cfg, &scheme, opts, cores, arena);
-            SweepPoint {
-                label: format!("{} [{}]", label, scheme.label),
-                metrics: m,
-                baseline: base,
-            }
+        |arena, _k, &u| {
+            let unit = &plan.units[u];
+            let (_, cfg) = &grid[unit.rep];
+            let cores = &warm.sets[warm.of_point[unit.rep]];
+            run_workload_warmed_arena(workload, cfg, &unit.setup, opts, cores, arena)
         },
-    )
+    );
+    let cache_hits = plan.units.len() - sim_units.len();
+    for (k, &u) in sim_units.iter().enumerate() {
+        if let Some(c) = cache.as_mut() {
+            c.insert(plan.units[u].desc.clone(), results[k].clone());
+        }
+        ready[u] = Some(results[k].clone());
+    }
+    if let Some(c) = &cache {
+        if let Err(e) = c.save() {
+            // A failed save costs future warm starts, never correctness.
+            eprintln!("fpb sweep: result cache save failed: {e} (continuing)");
+        }
+    }
+    let points = pending
+        .iter()
+        .enumerate()
+        .map(|(pi, &gi)| {
+            let (su, bu) = plan.point_units[pi];
+            match (&ready[su], &ready[bu]) {
+                (Some(m), Some(b)) => SweepPoint {
+                    label: format!("{} [{}]", grid[gi].0, plan.units[su].setup.label),
+                    metrics: m.clone(),
+                    baseline: b.clone(),
+                },
+                // Every unit is either cache-filled or simulated above;
+                // an unresolved hole can only be a planner bug.
+                // fpb-lint: allow(panic_freedom)
+                _ => panic!("sweep unit unresolved for point {gi}"),
+            }
+        })
+        .collect();
+    let stats = ReuseStats {
+        runs_total: 2 * grid.len(),
+        runs_unique: plan.units.len(),
+        cache_hits,
+        simulated: sim_units.len(),
+    };
+    (points, stats)
 }
 
 /// Static cost estimate for one grid point: instruction budget scaled by
@@ -455,11 +731,15 @@ pub struct SupervisedSweepRequest<'a> {
     /// Cooperative cancellation handle (checked at point admission).
     pub cancel: CancelToken,
     /// Cancel automatically once this many points complete *in this
-    /// run* (restored points don't count) — the deterministic stand-in
-    /// for pressing Ctrl-C mid-sweep.
+    /// run* (restored and cache-completed points don't count) — the
+    /// deterministic stand-in for pressing Ctrl-C mid-sweep.
     pub cancel_after: Option<usize>,
     /// Crash-injection test hook.
     pub inject_panic: Option<PanicInjection>,
+    /// Result-reuse ladder (semantic dedup + persistent cache). The
+    /// journal always outranks both levels: restored points splice
+    /// their journaled fragments and never consult the cache.
+    pub reuse: ReuseOptions,
 }
 
 /// How one grid point ended up in a [`SweepRun`].
@@ -607,6 +887,10 @@ pub struct SweepRun {
     /// True if the sweep stopped admitting points before the grid was
     /// exhausted.
     pub cancelled: bool,
+    /// What the reuse ladder saved. Run-local bookkeeping, like
+    /// `restored` — deliberately kept out of [`SweepRun::to_json`] so
+    /// reuse settings cannot leak into the byte-identical document.
+    pub reuse: ReuseStats,
 }
 
 impl SweepRun {
@@ -788,30 +1072,117 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
     }
     let restored = restored_frag.iter().filter(|f| f.is_some()).count();
 
-    // Pending points, carrying their grid index through supervision.
-    let items: Vec<(usize, String, SystemConfig)> = grid
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| restored_frag[*i].is_none())
-        .map(|(i, (label, cfg))| (i, label.clone(), cfg.clone()))
-        .collect();
-    let item_indices: Vec<usize> = items.iter().map(|(i, _, _)| *i).collect();
-    let item_labels: Vec<String> =
-        items.iter().map(|(_, l, _)| format!("{l} [{}]", scheme_setup.label)).collect();
+    // Pending grid indices (everything not restored from the journal).
+    // The journal outranks every reuse level: restored points splice
+    // their stored fragments verbatim and never consult the cache.
+    let pending: Vec<usize> = (0..n).filter(|&i| restored_frag[i].is_none()).collect();
 
-    // Warm-set dedup over the *pending* points only — a key whose every
-    // point was restored from the journal never pays a warm-up.
+    // Level 1: collapse the pending points' engine runs into units. The
+    // `--inject-panic` point gets private salted units so its runs are
+    // guaranteed to execute (and can never be satisfied — or poisoned —
+    // through the cache).
+    let plan = plan_units(
+        req.workload,
+        &req.opts,
+        &grid,
+        &pending,
+        registry,
+        &scheme_spec,
+        &baseline_spec,
+        req.reuse.dedup,
+        req.inject_panic.map(|inj| inj.point),
+    );
+
+    // Level 2: prefill units from the persistent cache (dedup-on only —
+    // cache keys *are* unit keys).
+    let mut cache = match (&req.reuse.cache, req.reuse.dedup) {
+        (Some(path), true) => Some(ResultCache::load(path)),
+        _ => None,
+    };
+    let mut unit_results: Vec<Option<Metrics>> = plan
+        .units
+        .iter()
+        .map(|u| cache.as_mut().and_then(|c| c.lookup(&u.desc)))
+        .collect();
+    let from_cache: Vec<bool> = unit_results.iter().map(|r| r.is_some()).collect();
+    let cache_hits = from_cache.iter().filter(|&&b| b).count();
+
+    // Points fully resolved from the cache complete before supervision
+    // starts: journal them now, in grid order, so a crash in the
+    // simulated remainder still resumes past them.
+    let point_ready: Vec<bool> = plan
+        .point_units
+        .iter()
+        .map(|&(su, bu)| unit_results[su].is_some() && unit_results[bu].is_some())
+        .collect();
+    if let Some(w) = writer.as_mut() {
+        for (pi, &gi) in pending.iter().enumerate() {
+            if !point_ready[pi] {
+                continue;
+            }
+            let (su, bu) = plan.point_units[pi];
+            if let (Some(sm), Some(bm)) = (&unit_results[su], &unit_results[bu]) {
+                let label = format!("{} [{}]", grid[gi].0, plan.units[su].setup.label);
+                let point =
+                    SweepPoint { label: label.clone(), metrics: sm.clone(), baseline: bm.clone() };
+                w.append_record(gi, &render_fragment(gi, &label, &point)).map_err(journal_err)?;
+            }
+        }
+    }
+
+    // Per-point count of units still to simulate, and the reverse map
+    // from a unit to the point ordinals waiting on it. Both drive
+    // completion tracking: a point is done when its last unit lands.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); plan.units.len()];
+    let mut remaining: Vec<usize> = vec![0; pending.len()];
+    for (pi, &(su, bu)) in plan.point_units.iter().enumerate() {
+        if point_ready[pi] {
+            continue;
+        }
+        let mut add = |u: usize| {
+            if unit_results[u].is_none() {
+                members[u].push(pi);
+                remaining[pi] += 1;
+            }
+        };
+        add(bu);
+        if su != bu {
+            add(su);
+        }
+    }
+
+    // Units to dispatch, in interning order (deterministic).
+    let sim_unit_ids: Vec<usize> =
+        (0..plan.units.len()).filter(|&u| unit_results[u].is_none()).collect();
+    let sim_jobs: Vec<SimJob> = sim_unit_ids
+        .iter()
+        .map(|&u| {
+            let unit = &plan.units[u];
+            SimJob {
+                unit: u,
+                rep: unit.rep,
+                label: grid[unit.rep].0.clone(),
+                cfg: grid[unit.rep].1.clone(),
+                setup: unit.setup.clone(),
+            }
+        })
+        .collect();
+
+    // Warm-set dedup over the units that actually simulate — a key
+    // whose every point was restored or cache-filled never pays a
+    // warm-up.
     let mut needed = vec![false; n];
-    for &i in &item_indices {
-        needed[i] = true;
+    for &u in &sim_unit_ids {
+        needed[plan.units[u].rep] = true;
     }
     let warm = Arc::new(warm_shared(req.workload, &grid, &req.opts, req.policy.jobs, &needed));
 
     // Execution costs: static estimate, refined by measured cycle counts
     // from journal-restored points sharing the same warm key (same line
-    // geometry ⇒ comparable per-point work). The schedule orders the
-    // pending items descending by cost; it cannot change results or the
-    // report order, both of which are keyed by grid index.
+    // geometry ⇒ comparable per-run work; the restored figure covers a
+    // scheme+baseline pair, a uniform 2× of a unit, so relative order
+    // survives). The schedule orders units descending by cost; it cannot
+    // change results or the report order, both keyed by grid index.
     let mut cycles_sum = vec![0u64; warm.sets.len()];
     let mut cycles_cnt = vec![0u64; warm.sets.len()];
     for (i, frag) in restored_frag.iter().enumerate() {
@@ -825,29 +1196,30 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
             cycles_cnt[k] += 1;
         }
     }
-    let item_costs: Vec<u64> = items
+    let unit_costs: Vec<u64> = sim_unit_ids
         .iter()
-        .map(|(i, _, cfg)| {
-            let k = warm.of_point[*i];
+        .map(|&u| {
+            let rep = plan.units[u].rep;
+            let k = warm.of_point[rep];
             cycles_sum[k]
                 .checked_div(cycles_cnt[k])
-                .unwrap_or_else(|| point_cost(cfg, &req.opts))
+                .unwrap_or_else(|| point_cost(&grid[rep].1, &req.opts))
         })
         .collect();
-    let schedule = crate::exec::schedule_by_cost(&item_costs);
+    let schedule = crate::exec::schedule_by_cost(&unit_costs);
 
     let workload = req.workload.clone();
     let opts = req.opts;
-    let job_scheme = scheme_spec.clone();
-    let job_baseline = baseline_spec.clone();
     let inject = req.inject_panic;
     let inject_runs = Arc::new(AtomicU32::new(0));
-    // --cancel-after trips on the worker side, at the moment the Nth
-    // point of *this run* finishes — deterministic with one worker
-    // (exactly N points complete), best-effort with more.
-    let cancel_after = req.cancel_after;
-    let completed_this_run = Arc::new(AtomicU32::new(0));
+    let cancel_limit = req.cancel_after;
     let job_cancel = req.cancel.clone();
+    // Worker-side completion tracker behind --cancel-after: cancellation
+    // trips at the moment the Nth pending point's *last* unit finishes —
+    // deterministic with one worker, best-effort with more. Restored and
+    // cache-completed points never count.
+    let tracker = Arc::new(Mutex::new((remaining.clone(), 0usize)));
+    let track_members: Arc<Vec<Vec<usize>>> = Arc::new(members);
     // Per-worker arenas, checkout-stack style: the supervisor shares one
     // `Fn` across workers, so arenas are popped for a run and pushed
     // back after. A panicked attempt simply drops its arena (the next
@@ -855,62 +1227,87 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
     // reuse is results-neutral by construction (see `SimArena`).
     let arenas: Arc<Mutex<Vec<SimArena>>> = Arc::new(Mutex::new(Vec::new()));
     let job_warm = Arc::clone(&warm);
-    let job = move |_slot: usize, item: &(usize, String, SystemConfig)| -> (usize, SweepPoint) {
-        let (grid_index, label, cfg) = item;
+    let job_members = Arc::clone(&track_members);
+    let job = move |_slot: usize, j: &SimJob| -> (usize, Metrics) {
         if let Some(inj) = inject {
-            if *grid_index == inj.point
-                && inject_runs.fetch_add(1, Ordering::SeqCst) < inj.attempts
-            {
+            if j.rep == inj.point && inject_runs.fetch_add(1, Ordering::SeqCst) < inj.attempts {
                 // The documented `--inject-panic` crash-recovery hook.
+                // Only the poisoned point's own (salted, private) units
+                // can reach here — no shared unit has it as rep.
                 // fpb-lint: allow(panic_freedom)
-                panic!("injected panic at point {grid_index} ({label})");
+                panic!("injected panic at point {} ({})", j.rep, j.label);
             }
         }
-        let registry = SchemeRegistry::standard();
-        let cores = &job_warm.sets[job_warm.of_point[*grid_index]];
+        let cores = &job_warm.sets[job_warm.of_point[j.rep]];
         let mut arena = match arenas.lock() {
             Ok(mut stack) => stack.pop().unwrap_or_default(),
             Err(_) => SimArena::default(),
         };
-        let baseline = build_spec(registry, &job_baseline, cfg);
-        let scheme = build_spec(registry, &job_scheme, cfg);
-        let base = run_workload_warmed_arena(&workload, cfg, &baseline, &opts, cores, &mut arena);
-        let m = run_workload_warmed_arena(&workload, cfg, &scheme, &opts, cores, &mut arena);
+        let m = run_workload_warmed_arena(&workload, &j.cfg, &j.setup, &opts, cores, &mut arena);
         if let Ok(mut stack) = arenas.lock() {
             stack.push(arena);
         }
-        let point = SweepPoint {
-            label: format!("{label} [{}]", scheme.label),
-            metrics: m,
-            baseline: base,
-        };
-        let done = completed_this_run.fetch_add(1, Ordering::SeqCst) + 1;
-        if cancel_after.is_some_and(|limit| done as usize >= limit) {
-            job_cancel.cancel();
+        if cancel_limit.is_some() {
+            if let Ok(mut t) = tracker.lock() {
+                let (left, completed) = &mut *t;
+                for &pi in &job_members[j.unit] {
+                    if left[pi] > 0 {
+                        left[pi] -= 1;
+                        if left[pi] == 0 {
+                            *completed += 1;
+                        }
+                    }
+                }
+                if cancel_limit.is_some_and(|limit| *completed >= limit) {
+                    job_cancel.cancel();
+                }
+            }
         }
-        (*grid_index, point)
+        (j.unit, m)
     };
 
-    // Journal each completion from the collector thread, before the
-    // point is considered durable; a journal write failure cancels the
-    // sweep (running unjournaled would betray the --journal contract).
+    // The collector thread assembles per-point fragments as their last
+    // unit lands and journals them before the point is considered
+    // durable; a journal write failure cancels the sweep (running
+    // unjournaled would betray the --journal contract).
     let mut journal_failure: Option<JournalError> = None;
     let cancel = req.cancel.clone();
+    let mut remaining_c = remaining;
+    let collect_members = Arc::clone(&track_members);
     let report = supervise_map_ordered(
-        items,
+        sim_jobs,
         &req.policy,
         &req.cancel,
         Some(schedule),
         job,
-        |_slot, (grid_index, point): &(usize, SweepPoint)| {
+        |_slot, (unit, m): &(usize, Metrics)| {
+            unit_results[*unit] = Some(m.clone());
             if journal_failure.is_some() {
                 return;
             }
-            if let Some(w) = writer.as_mut() {
-                let fragment = render_fragment(*grid_index, &point.label, point);
-                if let Err(e) = w.append_record(*grid_index, &fragment) {
-                    journal_failure = Some(e);
-                    cancel.cancel();
+            let Some(w) = writer.as_mut() else { return };
+            for &pi in &collect_members[*unit] {
+                if remaining_c[pi] == 0 {
+                    continue;
+                }
+                remaining_c[pi] -= 1;
+                if remaining_c[pi] > 0 {
+                    continue;
+                }
+                let gi = pending[pi];
+                let (su, bu) = plan.point_units[pi];
+                if let (Some(sm), Some(bm)) = (&unit_results[su], &unit_results[bu]) {
+                    let label = format!("{} [{}]", grid[gi].0, plan.units[su].setup.label);
+                    let point = SweepPoint {
+                        label: label.clone(),
+                        metrics: sm.clone(),
+                        baseline: bm.clone(),
+                    };
+                    if let Err(e) = w.append_record(gi, &render_fragment(gi, &label, &point)) {
+                        journal_failure = Some(e);
+                        cancel.cancel();
+                        return;
+                    }
                 }
             }
         },
@@ -919,8 +1316,34 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
         return Err(journal_err(e));
     }
 
-    // Assemble records in grid order: restored points first, then the
-    // supervised outcomes mapped back through their grid indices.
+    // Merge freshly simulated units into the cache and persist it.
+    // Inject-salted units are skipped outright; everything else keyed a
+    // real run.
+    if let Some(c) = cache.as_mut() {
+        for (u, unit) in plan.units.iter().enumerate() {
+            if from_cache[u] || req.inject_panic.is_some_and(|inj| unit.rep == inj.point) {
+                continue;
+            }
+            if let Some(m) = &unit_results[u] {
+                c.insert(unit.desc.clone(), m.clone());
+            }
+        }
+        if let Err(e) = c.save() {
+            // A failed save costs future warm starts, never correctness.
+            eprintln!("fpb sweep: result cache save failed: {e} (continuing)");
+        }
+    }
+
+    // Per-unit outcomes: cache-filled units count as Ok; dispatched
+    // units take their supervision outcome.
+    let mut unit_outcomes: Vec<JobOutcome> = vec![JobOutcome::Ok; plan.units.len()];
+    for (k, outcome) in report.outcomes.into_iter().enumerate() {
+        unit_outcomes[sim_unit_ids[k]] = outcome;
+    }
+
+    // Assemble records in grid order: restored points first, then each
+    // pending point from its units — metrics spliced from the shared
+    // unit results, outcome merged across the units it needed.
     let mut records: Vec<SweepPointRecord> = grid
         .iter()
         .enumerate()
@@ -934,19 +1357,24 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
             outcome: JobOutcome::Ok,
         })
         .collect();
-    for (((outcome, result), grid_index), label) in report
-        .outcomes
-        .into_iter()
-        .zip(report.results)
-        .zip(item_indices)
-        .zip(item_labels)
-    {
-        let state = match result {
-            Some((_, point)) => PointState::Done(Box::new(point)),
-            None if outcome.quarantined() => PointState::Failed,
-            None => PointState::Skipped,
+    for (pi, &gi) in pending.iter().enumerate() {
+        let (su, bu) = plan.point_units[pi];
+        let outcome = if su == bu {
+            unit_outcomes[su].clone()
+        } else {
+            merge_outcomes(unit_outcomes[su].clone(), unit_outcomes[bu].clone())
         };
-        records[grid_index] = SweepPointRecord { index: grid_index, label, state, outcome };
+        let label = format!("{} [{}]", grid[gi].0, plan.units[su].setup.label);
+        let state = match (&unit_results[su], &unit_results[bu]) {
+            (Some(sm), Some(bm)) => PointState::Done(Box::new(SweepPoint {
+                label: label.clone(),
+                metrics: sm.clone(),
+                baseline: bm.clone(),
+            })),
+            _ if outcome.quarantined() => PointState::Failed,
+            _ => PointState::Skipped,
+        };
+        records[gi] = SweepPointRecord { index: gi, label, state, outcome };
     }
 
     Ok(SweepRun {
@@ -958,7 +1386,50 @@ pub fn run_sweep_supervised(req: SupervisedSweepRequest<'_>) -> Result<SweepRun,
         restored,
         dropped_journal_lines,
         cancelled: report.cancelled,
+        reuse: ReuseStats {
+            runs_total: 2 * pending.len(),
+            runs_unique: plan.units.len(),
+            cache_hits,
+            simulated: sim_unit_ids.len(),
+        },
     })
+}
+
+/// One supervised engine run: a deduplicated unit plus everything the
+/// worker needs to execute it without touching shared sweep state.
+struct SimJob {
+    /// Unit index into the sweep's [`UnitPlan`].
+    unit: usize,
+    /// Representative grid index (drives warm-set and inject lookups).
+    rep: usize,
+    /// Representative's grid label (for the injected-panic message).
+    label: String,
+    /// Representative's configuration.
+    cfg: SystemConfig,
+    /// Setup to run.
+    setup: SchemeSetup,
+}
+
+/// Terminal outcome of a point from the outcomes of the units it
+/// waited on: the worse one wins (quarantine > skip > retry > ok), and
+/// two retried units report the larger attempt count.
+fn merge_outcomes(a: JobOutcome, b: JobOutcome) -> JobOutcome {
+    fn rank(o: &JobOutcome) -> u32 {
+        match o {
+            JobOutcome::Panicked { .. } => 4,
+            JobOutcome::TimedOut { .. } => 3,
+            JobOutcome::Skipped => 2,
+            JobOutcome::Retried { .. } => 1,
+            JobOutcome::Ok => 0,
+        }
+    }
+    match (&a, &b) {
+        (JobOutcome::Retried { attempts: x }, JobOutcome::Retried { attempts: y }) => {
+            JobOutcome::Retried { attempts: (*x).max(*y) }
+        }
+        _ if rank(&b) > rank(&a) => b,
+        _ => a,
+    }
 }
 
 #[cfg(test)]
@@ -1144,6 +1615,108 @@ mod tests {
     }
 
     #[test]
+    fn reuse_never_changes_points_and_collapses_baselines() {
+        let wl = catalog::workload("cop_m").expect("workload");
+        let axes = || [Axis::pt_dimm(&[466, 560]), Axis::e_gcp(&[0.5, 0.9])];
+        let (off, s_off) = run_sweep_jobs_reuse(
+            &wl,
+            SystemConfig::default(),
+            &axes(),
+            "fpb",
+            "dimm-chip",
+            &opts(),
+            2,
+            &ReuseOptions::disabled(),
+        );
+        let (on, s_on) = run_sweep_jobs_reuse(
+            &wl,
+            SystemConfig::default(),
+            &axes(),
+            "fpb",
+            "dimm-chip",
+            &opts(),
+            2,
+            &ReuseOptions::default(),
+        );
+        assert_eq!(off.len(), on.len());
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.metrics, b.metrics, "{}", a.label);
+            assert_eq!(a.baseline, b.baseline, "{}", a.label);
+        }
+        // Dedup off: every point pays both runs.
+        assert_eq!((s_off.runs_total, s_off.runs_unique, s_off.simulated), (8, 8, 8));
+        // Dedup on: the power-blind baseline collapses along the e-gcp
+        // axis; fpb stays distinct per point.
+        assert_eq!(s_on.runs_total, 8);
+        assert!(
+            s_on.runs_unique < s_on.runs_total,
+            "expected baseline collapse, got {s_on:?}"
+        );
+        assert_eq!(s_on.simulated, s_on.runs_unique);
+        assert!(s_on.dedup_ratio() > 1.0);
+    }
+
+    #[test]
+    fn persistent_cache_round_trips_points() {
+        let wl = catalog::workload("cop_m").expect("workload");
+        let path = std::env::temp_dir().join("fpb-sweep-unit-cache.v1");
+        std::fs::remove_file(&path).ok();
+        let reuse = ReuseOptions { dedup: true, cache: Some(path.clone()) };
+        let axes = || [Axis::pt_dimm(&[466, 560])];
+        let (cold, s_cold) = run_sweep_jobs_reuse(
+            &wl,
+            SystemConfig::default(),
+            &axes(),
+            "fpb",
+            "dimm-chip",
+            &opts(),
+            1,
+            &reuse,
+        );
+        assert_eq!(s_cold.cache_hits, 0);
+        assert_eq!(s_cold.simulated, s_cold.runs_unique);
+        let (warm, s_warm) = run_sweep_jobs_reuse(
+            &wl,
+            SystemConfig::default(),
+            &axes(),
+            "fpb",
+            "dimm-chip",
+            &opts(),
+            1,
+            &reuse,
+        );
+        assert_eq!(s_warm.cache_hits, s_warm.runs_unique, "{s_warm:?}");
+        assert_eq!(s_warm.simulated, 0, "warm run must not simulate");
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.metrics, b.metrics, "{}", a.label);
+            assert_eq!(a.baseline, b.baseline, "{}", a.label);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_outcomes_ranks_worst_first() {
+        use JobOutcome::*;
+        assert_eq!(merge_outcomes(Ok, Ok), Ok);
+        assert_eq!(merge_outcomes(Ok, Retried { attempts: 2 }), Retried { attempts: 2 });
+        assert_eq!(
+            merge_outcomes(Retried { attempts: 2 }, Retried { attempts: 3 }),
+            Retried { attempts: 3 }
+        );
+        assert_eq!(merge_outcomes(Retried { attempts: 2 }, Skipped), Skipped);
+        assert_eq!(
+            merge_outcomes(Skipped, Panicked { attempts: 1, message: "boom".into() }),
+            Panicked { attempts: 1, message: "boom".into() }
+        );
+        assert_eq!(
+            merge_outcomes(TimedOut { deadline_ms: 5 }, Ok),
+            TimedOut { deadline_ms: 5 }
+        );
+    }
+
+    #[test]
     fn supervised_json_shape_without_running_points() {
         let run = SweepRun {
             workload: "cop_m".to_string(),
@@ -1175,6 +1748,7 @@ mod tests {
             restored: 1,
             dropped_journal_lines: 0,
             cancelled: true,
+            reuse: ReuseStats::default(),
         };
         let json = run.to_json();
         assert!(json.contains("\"schema\": \"fpb-sweep/v1\""));

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 
 use fpb_sim::journal::JournalMode;
 use fpb_sim::sweep::{
-    run_sweep_jobs, run_sweep_supervised, Axis, PanicInjection, PointState,
+    run_sweep_jobs, run_sweep_supervised, Axis, PanicInjection, PointState, ReuseOptions,
     SupervisedSweepRequest, SweepError, SweepRun,
 };
 use fpb_sim::{CancelToken, JobOutcome, SimOptions, SupervisePolicy};
@@ -37,6 +37,7 @@ fn request<'a>(wl: &'a Workload, axes: &'a [Axis]) -> SupervisedSweepRequest<'a>
         cancel: CancelToken::new(),
         cancel_after: None,
         inject_panic: None,
+        reuse: ReuseOptions::default(),
     }
 }
 
@@ -200,6 +201,71 @@ fn crash_at_point_k_then_resume_is_byte_identical() {
     assert!(resumed.complete());
     assert_eq!(resumed.to_json(), clean.to_json());
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warm_cache_completes_journaled_sweeps_and_journal_outranks_cache() {
+    let wl = workload();
+    let axes = axes();
+    let clean = run_sweep_supervised(request(&wl, &axes)).expect("clean run");
+
+    // Seed the result cache with a full unjournaled sweep.
+    let cache = tmp("warm_cache.v1");
+    let mut req = request(&wl, &axes);
+    req.reuse.cache = Some(cache.clone());
+    let seeded = run_sweep_supervised(req).expect("seeding run");
+    assert_eq!(seeded.reuse.cache_hits, 0);
+    assert!(seeded.reuse.simulated > 0);
+    assert_eq!(seeded.to_json(), clean.to_json(), "cache writes must not change results");
+
+    // A journaled run over the warm cache completes without simulating:
+    // every point is cache-ready and journaled before supervision, and
+    // --cancel-after never trips (it counts simulated points only).
+    let path = tmp("warm_cache.fpbj");
+    let mut req = request(&wl, &axes);
+    req.journal = Some(JournalMode::Fresh(path.clone()));
+    req.cancel_after = Some(2);
+    req.reuse.cache = Some(cache.clone());
+    let warm = run_sweep_supervised(req).expect("warm run");
+    assert_eq!(warm.reuse.simulated, 0, "{:?}", warm.reuse);
+    assert_eq!(warm.reuse.cache_hits, warm.reuse.runs_unique);
+    assert!(warm.complete() && !warm.cancelled);
+    assert_eq!(warm.to_json(), clean.to_json(), "cache splice must be byte-identical");
+
+    // Resuming the finished journal restores every point from the
+    // journal; the cache is never consulted — the journal outranks it.
+    let mut req = request(&wl, &axes);
+    req.journal = Some(JournalMode::Resume(path.clone()));
+    req.reuse.cache = Some(cache.clone());
+    let resumed = run_sweep_supervised(req).expect("resumed run");
+    assert_eq!(resumed.restored, 4);
+    assert_eq!(resumed.reuse.runs_total, 0, "journal splice must win over cache splice");
+    assert_eq!(resumed.reuse.cache_hits, 0);
+    assert_eq!(resumed.to_json(), clean.to_json());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn injected_panic_fires_even_with_a_warm_cache() {
+    let wl = workload();
+    let axes = axes();
+    // Warm the cache over the whole grid first.
+    let cache = tmp("inject_bypass.v1");
+    let mut req = request(&wl, &axes);
+    req.reuse.cache = Some(cache.clone());
+    run_sweep_supervised(req).expect("seeding run");
+
+    // The poisoned point's units are salted out of cache and dedup, so
+    // the panic still fires; the other points splice from the cache.
+    let mut req = request(&wl, &axes);
+    req.reuse.cache = Some(cache.clone());
+    req.inject_panic = Some(PanicInjection { point: 2, attempts: u32::MAX });
+    let run = run_sweep_supervised(req).expect("sweep itself succeeds");
+    assert_eq!(run.count("panicked"), 1, "warm cache must not disarm --inject-panic");
+    assert_eq!(run.count("ok"), 3);
+    assert_eq!(run.quarantined()[0].index, 2);
+    std::fs::remove_file(&cache).ok();
 }
 
 #[test]

@@ -10,7 +10,9 @@
 //! ```
 
 use fpb::sim::journal::JournalMode;
-use fpb::sim::sweep::{run_sweep_supervised, Axis, PanicInjection, SupervisedSweepRequest};
+use fpb::sim::sweep::{
+    run_sweep_supervised, Axis, PanicInjection, ReuseOptions, SupervisedSweepRequest,
+};
 use fpb::sim::{CancelToken, SimOptions, SupervisePolicy};
 use fpb::trace::catalog;
 use fpb::trace::Workload;
@@ -29,6 +31,9 @@ fn request<'a>(wl: &'a Workload, axes: &'a [Axis]) -> SupervisedSweepRequest<'a>
         cancel: CancelToken::new(),
         cancel_after: None,
         inject_panic: None,
+        // Semantic dedup on (the shipping default), no persistent cache —
+        // the example's runs stay self-contained.
+        reuse: ReuseOptions::default(),
     }
 }
 

@@ -16,7 +16,7 @@ use fpb::analyze::{
 use fpb::cli::{self, Command, LintArgs, LintFormat, RunArgs, SweepControl};
 use fpb::sim::engine::{run_workload_warmed, warm_cores};
 use fpb::sim::journal::JournalMode;
-use fpb::sim::sweep::{run_sweep_supervised, PanicInjection, SupervisedSweepRequest};
+use fpb::sim::sweep::{run_sweep_supervised, PanicInjection, ReuseOptions, SupervisedSweepRequest};
 use fpb::sim::{CancelToken, Metrics, SupervisePolicy};
 use fpb::trace::catalog;
 
@@ -154,6 +154,22 @@ fn dispatch(cmd: Command) -> Result<ExitCode, String> {
                     r.jobs, r.ms, r.speedup, r.points_per_sec
                 );
             }
+            for sk in &report.skipped_rungs {
+                println!("  skipped  {:>2} jobs: {}", sk.jobs, sk.reason);
+            }
+            println!(
+                "  reuse    {} runs -> {} unique ({:.2}x dedup; reuse-off serial {:.1} ms)",
+                report.reuse.runs_total,
+                report.reuse.runs_unique,
+                report.reuse.dedup_ratio(),
+                report.no_reuse_serial_ms
+            );
+            println!(
+                "  cache    cold {:>9.1} ms -> warm {:>9.1} ms ({:.2}x)",
+                report.result_cache.cold_ms,
+                report.result_cache.warm_ms,
+                report.result_cache.speedup()
+            );
             let eff = &report.efficiency;
             println!(
                 "  efficiency gate: {:.2}x at {} jobs ({} effective workers, floor {:.2}x) -> {}",
@@ -211,6 +227,13 @@ fn dispatch(cmd: Command) -> Result<ExitCode, String> {
                     "word-level sampler drifted from the per-bit reference distribution".into(),
                 );
             }
+            if hot.line_write_speedup < fpb::sim::LINE_WRITE_FLOOR {
+                return Err(format!(
+                    "pooled line-write build below the floor: {:.3}x (need {:.2}x)",
+                    hot.line_write_speedup,
+                    fpb::sim::LINE_WRITE_FLOOR
+                ));
+            }
             println!("  write-path equivalence gates: ok");
             Ok(ExitCode::SUCCESS)
         }
@@ -241,6 +264,19 @@ fn run_sweep(
         (None, Some(p)) => Some(JournalMode::Resume(PathBuf::from(p))),
         _ => None,
     };
+    let reuse = if control.no_result_cache {
+        ReuseOptions::disabled()
+    } else {
+        ReuseOptions {
+            dedup: true,
+            cache: Some(PathBuf::from(
+                control
+                    .result_cache
+                    .as_deref()
+                    .unwrap_or(fpb::sim::DEFAULT_CACHE_PATH),
+            )),
+        }
+    };
     let run = run_sweep_supervised(SupervisedSweepRequest {
         workload: &wl,
         base_cfg: args.cfg.clone(),
@@ -261,8 +297,20 @@ fn run_sweep(
         inject_panic: control
             .inject_panic
             .map(|(point, attempts)| PanicInjection { point, attempts }),
+        reuse,
     })
     .map_err(|e| e.to_string())?;
+    if !control.no_result_cache && run.reuse.runs_total > 0 {
+        eprintln!(
+            "fpb sweep: result reuse {} run(s) -> {} unique ({:.2}x), \
+             {} cache hit(s), {} simulated",
+            run.reuse.runs_total,
+            run.reuse.runs_unique,
+            run.reuse.dedup_ratio(),
+            run.reuse.cache_hits,
+            run.reuse.simulated
+        );
+    }
 
     println!("{:<40} {:>9} {:>9} {:>9}  status", "point", "speedup", "CPI", "burst%");
     for rec in &run.points {

@@ -20,6 +20,10 @@ use fpb_sim::{SchemeSetup, SimOptions};
 use fpb_types::SystemConfig;
 
 /// A parsed command line.
+// One Command is built per process and immediately consumed; the size
+// spread between variants is irrelevant here, so boxing the sweep
+// controls would only add noise.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `fpb run --workload W --scheme S [options]`
@@ -94,6 +98,14 @@ pub struct SweepControl {
     /// Graceful-cancellation hook: stop admitting new points after this
     /// many completions (`--cancel-after`).
     pub cancel_after: Option<usize>,
+    /// Disable result reuse entirely — semantic dedup *and* the
+    /// persistent cache — so every grid point simulates from scratch
+    /// (`--no-result-cache`; the CI byte-identity gate compares against
+    /// this mode).
+    pub no_result_cache: bool,
+    /// Persistent point-result cache file override (`--result-cache`);
+    /// `None` = `target/fpb-sweep-cache.v1`.
+    pub result_cache: Option<String>,
 }
 
 impl Default for SweepControl {
@@ -107,6 +119,8 @@ impl Default for SweepControl {
             backoff_ms: 50,
             inject_panic: None,
             cancel_after: None,
+            no_result_cache: false,
+            result_cache: None,
         }
     }
 }
@@ -529,6 +543,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         control.cancel_after =
                             Some(parse_num(&value("--cancel-after")?, "--cancel-after")? as usize)
                     }
+                    "--no-result-cache" if sub == "sweep" => control.no_result_cache = true,
+                    "--result-cache" if sub == "sweep" => {
+                        control.result_cache = Some(value("--result-cache")?)
+                    }
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -553,6 +571,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         return Err(CliError(
                             "--csv needs full per-point metrics, which restored points do \
                              not carry; use --json-out with --resume"
+                                .into(),
+                        ));
+                    }
+                    if control.no_result_cache && control.result_cache.is_some() {
+                        return Err(CliError(
+                            "--no-result-cache disables result reuse; it cannot be \
+                             combined with --result-cache"
                                 .into(),
                         ));
                     }
@@ -695,19 +720,36 @@ SWEEP SUPERVISION: every sweep point runs supervised — a panicking point
   --inject-panic I[:N] test hook: panic at grid point I for its first N
                        attempts (every attempt when :N is omitted)
 
+SWEEP RESULT REUSE: grid points whose differing knobs cannot reach the
+  simulation (the scheme declares which config inputs it reads) share one
+  simulation, and finished results persist across invocations in a cache
+  keyed by effective config + code version. Reuse never changes output:
+  spliced results are byte-identical to fresh simulation, and the journal
+  always outranks the cache on --resume.
+  --result-cache <f>   persistent point-result cache file
+                       [target/fpb-sweep-cache.v1]
+  --no-result-cache    disable result reuse (semantic dedup and the
+                       persistent cache); every point simulates fresh
+
 BENCH: runs a pinned 36-point sweep grid (line-bytes x pt-dimm x e-gcp
   on mcf_m) up a 1/2/4-job scaling ladder (--repeats timed passes per
   rung, minimum kept, after an untimed warmup pass), checks every rung
   matches serial bit-for-bit, and writes wall time, points/sec, the
   detected core count, the scaling curve, and the parallel-efficiency
-  gate to BENCH_sweep.json. Then races the optimized write path
-  (word-level change sampling, pooled buffers, event-heap stepper)
-  against the pre-optimization reference path and writes
-  BENCH_hotpath.json. Exits nonzero if parallel and serial metrics
-  diverge, if the 4-job rung misses the efficiency floor for the
-  machine's core count, if the heap stepper or buffer pool fails
-  bit-for-bit equivalence, or if the word-level sampler drifts from the
-  per-bit reference.
+  gate to BENCH_sweep.json. Rungs that cannot exercise real parallelism
+  (one effective worker) are skipped and recorded as skipped_rungs
+  instead of re-measuring the serial pass. The grid also runs with
+  result reuse off and twice against a private cold/warm result cache —
+  every pass feeds the same identical gate — and the report carries
+  points_unique, dedup_ratio, and the cold-vs-warm cache walls. Then
+  races the optimized write path (word-level change sampling, pooled
+  buffers, event-heap stepper) against the pre-optimization reference
+  path and writes BENCH_hotpath.json. Exits nonzero if parallel and
+  serial metrics diverge, if the 4-job rung misses the efficiency floor
+  for the machine's core count, if the heap stepper or buffer pool
+  fails bit-for-bit equivalence, if the word-level sampler drifts from
+  the per-bit reference, or if the pooled line-write build falls below
+  its floor.
 
 OPTIONS (run/compare):
   --instructions <n>   instructions per core        [200000]
@@ -1037,6 +1079,44 @@ mod tests {
         };
         assert_eq!(control.deadline_ms, None);
         assert_eq!(control.inject_panic, Some((2, u32::MAX)));
+    }
+
+    #[test]
+    fn sweep_result_cache_flags_parse() {
+        let cmd = parse(&v(&[
+            "sweep",
+            "--axis",
+            "pt-dimm=466,560",
+            "--result-cache",
+            "/tmp/cache.v1",
+        ]))
+        .unwrap();
+        let Command::Sweep { control, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(control.result_cache.as_deref(), Some("/tmp/cache.v1"));
+        assert!(!control.no_result_cache);
+
+        let cmd = parse(&v(&["sweep", "--axis", "pt-dimm=466", "--no-result-cache"])).unwrap();
+        let Command::Sweep { control, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert!(control.no_result_cache);
+
+        // Contradictory combination is rejected, and the flags belong to
+        // sweep only.
+        let e = parse(&v(&[
+            "sweep",
+            "--axis",
+            "pt-dimm=466",
+            "--no-result-cache",
+            "--result-cache",
+            "c.v1",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--no-result-cache"), "{e}");
+        assert!(parse(&v(&["run", "--no-result-cache"])).is_err());
+        assert!(parse(&v(&["run", "--result-cache", "c.v1"])).is_err());
     }
 
     #[test]

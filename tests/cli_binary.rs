@@ -174,6 +174,9 @@ fn killed_mid_sweep_then_resume_matches_a_clean_run() {
             "pt-dimm=466,560",
             "--jobs",
             "1",
+            // The kill must land mid-simulation; a warm result cache
+            // could finish the whole grid before the signal arrives.
+            "--no-result-cache",
             "--journal",
         ])
         .arg(&journal)
@@ -243,6 +246,93 @@ fn killed_mid_sweep_then_resume_matches_a_clean_run() {
     assert!(resumed.contains("\"skipped\": 0"), "{resumed}");
     assert!(resumed.contains("\"panicked\": 0"), "{resumed}");
     for p in [&clean_json, &journal, &resumed_json] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn result_reuse_is_byte_invisible_and_warm_cache_splices() {
+    // Reference: reuse fully disabled.
+    let off_json = tmp("cli_reuse_off.json");
+    let out = sweep_cmd(
+        "2",
+        &["--no-result-cache", "--json-out", off_json.to_str().expect("utf8")],
+    )
+    .output()
+    .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("result reuse"),
+        "--no-result-cache must silence the reuse stats line"
+    );
+
+    // Cold pass against a private cache file: simulates, saves, and must
+    // render byte-identical JSON.
+    let cache = tmp("cli_reuse_cache.v1");
+    let cold_json = tmp("cli_reuse_cold.json");
+    let out = sweep_cmd(
+        "2",
+        &[
+            "--result-cache",
+            cache.to_str().expect("utf8"),
+            "--json-out",
+            cold_json.to_str().expect("utf8"),
+        ],
+    )
+    .output()
+    .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("result reuse"), "stderr: {err}");
+    assert!(err.contains("0 cache hit(s)"), "cold pass claimed hits: {err}");
+    assert!(cache.exists(), "cold pass must persist the cache");
+
+    // Warm pass: every unit splices from the cache, bytes still equal.
+    let warm_json = tmp("cli_reuse_warm.json");
+    let out = sweep_cmd(
+        "2",
+        &[
+            "--result-cache",
+            cache.to_str().expect("utf8"),
+            "--json-out",
+            warm_json.to_str().expect("utf8"),
+        ],
+    )
+    .output()
+    .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("0 simulated"), "warm pass re-simulated: {err}");
+
+    let off = std::fs::read(&off_json).expect("off json");
+    let cold = std::fs::read(&cold_json).expect("cold json");
+    let warm = std::fs::read(&warm_json).expect("warm json");
+    assert_eq!(off, cold, "cold cache run diverged from reuse-off run");
+    assert_eq!(off, warm, "warm cache run diverged from reuse-off run");
+
+    // Corrupt the cache (truncate mid-record): the next run discards it
+    // wholesale, runs cold, and still produces identical bytes.
+    let text = std::fs::read_to_string(&cache).expect("cache text");
+    std::fs::write(&cache, &text[..text.len() / 2]).expect("truncate");
+    let after_json = tmp("cli_reuse_after_corrupt.json");
+    let out = sweep_cmd(
+        "2",
+        &[
+            "--result-cache",
+            cache.to_str().expect("utf8"),
+            "--json-out",
+            after_json.to_str().expect("utf8"),
+        ],
+    )
+    .output()
+    .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("0 cache hit(s)"), "corrupt cache must read empty: {err}");
+    let after = std::fs::read(&after_json).expect("post-corruption json");
+    assert_eq!(off, after, "post-corruption run diverged");
+
+    for p in [&off_json, &cold_json, &warm_json, &after_json, &cache] {
         std::fs::remove_file(p).ok();
     }
 }
