@@ -542,7 +542,9 @@ pub fn link(facts: &[FileFacts]) -> Vec<Violation> {
     }
 
     // nondet_taint: nondeterminism sources transitively callable from
-    // metrics/report emission.
+    // metrics/report emission, or from the inspect recorder / event
+    // wire codec — a nondeterministic value reaching the event log
+    // would break record→replay byte-identity.
     let sinks: Vec<FnId> = table
         .fns
         .iter()
@@ -551,8 +553,14 @@ pub fn link(facts: &[FileFacts]) -> Vec<Violation> {
             !s.is_test
                 && Rule::NondetTaint.applies_to(&s.crate_key)
                 && (s.self_ty.as_deref() == Some("Metrics")
+                    || s.self_ty.as_deref() == Some("LifecycleEvent")
+                    || s.self_ty.as_deref() == Some("EventLogWriter")
+                    || s.self_ty.as_deref() == Some("MetricsDeriver")
                     || s.file.ends_with("metrics.rs")
-                    || s.file.ends_with("report.rs"))
+                    || s.file.ends_with("report.rs")
+                    || s.file.ends_with("inspect/recorder.rs")
+                    || s.file.ends_with("inspect/event.rs")
+                    || s.file.ends_with("inspect/cursor.rs"))
         })
         .map(|(id, _)| id)
         .collect();
@@ -737,6 +745,32 @@ mod tests {
         assert_eq!(taint.len(), 1, "only the sink-reachable source: {found:?}");
         assert_eq!(taint[0].line, 3);
         assert!(taint[0].message.contains("Metrics::render → stamp"));
+    }
+
+    #[test]
+    fn nondet_taint_covers_inspect_recorder_and_event_codec() {
+        // A nondeterministic value feeding the event wire codec or the
+        // recorder would break record→replay byte-identity, so both are
+        // sinks like Metrics.
+        let src = "impl LifecycleEvent {\n\
+                   pub fn encode(&self) -> String { tag() } }\n\
+                   fn tag() -> String { let t = Instant::now(); fmt(t) }";
+        let found = scan_semantic("crates/sim/src/x.rs", "sim", src);
+        let taint: Vec<&Violation> = found
+            .iter()
+            .filter(|v| v.rule == Rule::NondetTaint)
+            .collect();
+        assert_eq!(taint.len(), 1, "{found:?}");
+        assert!(taint[0].message.contains("LifecycleEvent::encode → tag"));
+
+        // Any function in the recorder file is a sink, whatever its type.
+        let src = "pub fn frame(body: &str) -> String { salt() }\n\
+                   fn salt() -> String { let t = Instant::now(); fmt(t) }";
+        let found = scan_semantic("crates/sim/src/inspect/recorder.rs", "sim", src);
+        assert!(
+            found.iter().any(|v| v.rule == Rule::NondetTaint),
+            "recorder file must be a taint sink: {found:?}"
+        );
     }
 
     #[test]

@@ -11,14 +11,13 @@ use fpb_pcm::{
 use fpb_types::{Cycles, LineAddr, SimRng};
 
 use crate::bank::BankState;
+use crate::inspect::{EventSink, LifecycleEvent, PowerOp, SchemeHook};
 use crate::request::{ReadTask, WriteTask};
-use crate::scheme::{
-    ReadArrivalAction, ReadArrivalCtx, Scheme, WriteLifecycle, WriteStage,
-};
+use crate::scheme::{ReadArrivalAction, ReadArrivalCtx, Scheme, WriteStage};
 
 use super::{System, SCRUB_CORE};
 
-impl<S: Scheme> System<S> {
+impl<S: Scheme, E: EventSink> System<S, E> {
     // ---- scheduling pass ----
 
     pub(super) fn schedule(&mut self) {
@@ -91,12 +90,23 @@ impl<S: Scheme> System<S> {
                 if free {
                     if let Some(mut task) = self.wrq.remove(i) {
                         if self.power.try_admit(task.id, task.round_mut()) {
+                            self.emit_power(task.id.get(), PowerOp::Admit, true);
+                            if E::ENABLED {
+                                let ev = LifecycleEvent::WriteAdmitted {
+                                    id: task.id.get(),
+                                    bank: task.bank.get(),
+                                    at: self.now.get(),
+                                    queue_delay: self.now.saturating_sub(task.arrival).get(),
+                                };
+                                self.emit(ev);
+                            }
                             self.metrics.write_queue_delay +=
                                 self.now.saturating_sub(task.arrival).get();
                             task.round_started_at = self.now;
                             self.issue_write(bank, task);
                             continue; // same index now holds the next entry
                         }
+                        self.emit_power(task.id.get(), PowerOp::Admit, false);
                         // Not admissible: put it back and scan on
                         // (out-of-order write scheduling over the queue).
                         self.wrq.insert(i, task);
@@ -120,8 +130,12 @@ impl<S: Scheme> System<S> {
                 let state = std::mem::replace(&mut self.banks[b].state, BankState::Idle);
                 match state {
                     BankState::WriteStalled { task, since } => {
-                        if self.power.try_advance(task.id, task.round()) {
-                            WriteLifecycle::debug_check(
+                        let ok = self.power.try_advance(task.id, task.round());
+                        self.emit_power(task.id.get(), PowerOp::Advance, ok);
+                        if ok {
+                            self.transition(
+                                task.id,
+                                b,
                                 WriteStage::TokenStalled,
                                 WriteStage::Iterating,
                             );
@@ -131,8 +145,12 @@ impl<S: Scheme> System<S> {
                         }
                     }
                     BankState::AwaitingRound { mut task, since } => {
-                        if self.power.try_admit(task.id, task.round_mut()) {
-                            WriteLifecycle::debug_check(
+                        let ok = self.power.try_admit(task.id, task.round_mut());
+                        self.emit_power(task.id.get(), PowerOp::Admit, ok);
+                        if ok {
+                            self.transition(
+                                task.id,
+                                b,
                                 WriteStage::RoundPending,
                                 WriteStage::Iterating,
                             );
@@ -157,8 +175,10 @@ impl<S: Scheme> System<S> {
                 && (self.burst || !self.bank_has_waiting_read(b))
             {
                 if let Some(task) = self.banks[b].parked.take() {
-                    if self.power.try_advance(task.id, task.round()) {
-                        WriteLifecycle::debug_check(WriteStage::Paused, WriteStage::Iterating);
+                    let ok = self.power.try_advance(task.id, task.round());
+                    self.emit_power(task.id.get(), PowerOp::Advance, ok);
+                    if ok {
+                        self.transition(task.id, b, WriteStage::Paused, WriteStage::Iterating);
                         self.start_iteration(b, task, false);
                     } else {
                         self.banks[b].parked = Some(task);
@@ -179,6 +199,15 @@ impl<S: Scheme> System<S> {
             let arrival = self.wrq[i].arrival;
             let task = self.make_task(line, core, arrival);
             let old = std::mem::replace(&mut self.wrq[i], task);
+            if E::ENABLED {
+                let ev = LifecycleEvent::WriteCoalesced {
+                    old_id: old.id.get(),
+                    new_id: self.wrq[i].id.get(),
+                    line: line.get(),
+                    at: self.now.get(),
+                };
+                self.emit(ev);
+            }
             if !self.reference_alloc {
                 self.pool.recycle_rounds(old.rounds);
             }
@@ -188,6 +217,15 @@ impl<S: Scheme> System<S> {
             let arrival = self.overflow[i].arrival;
             let task = self.make_task(line, core, arrival);
             let old = std::mem::replace(&mut self.overflow[i], task);
+            if E::ENABLED {
+                let ev = LifecycleEvent::WriteCoalesced {
+                    old_id: old.id.get(),
+                    new_id: self.overflow[i].id.get(),
+                    line: line.get(),
+                    at: self.now.get(),
+                };
+                self.emit(ev);
+            }
             if !self.reference_alloc {
                 self.pool.recycle_rounds(old.rounds);
             }
@@ -308,6 +346,17 @@ impl<S: Scheme> System<S> {
             self.metrics.faults.degraded_writes += 1;
         }
         self.next_write_id += 1;
+        if E::ENABLED {
+            let ev = LifecycleEvent::WriteCreated {
+                id: self.next_write_id,
+                line: line.get(),
+                bank: line.bank_of(self.cfg.pcm.banks).get(),
+                at: self.now.get(),
+                rounds: rounds.len() as u64,
+                degraded: self.degraded,
+            };
+            self.emit(ev);
+        }
         WriteTask {
             id: WriteId::new(self.next_write_id),
             line,
@@ -334,6 +383,7 @@ impl<S: Scheme> System<S> {
     /// cancelled at the next iteration boundary (§6.4.5 write
     /// cancellation).
     pub(super) fn note_read_arrival(&mut self, bank: fpb_types::BankId) {
+        let mut decided: Option<(u64, ReadArrivalAction)> = None;
         if let BankState::Writing {
             task,
             cancel_pending,
@@ -347,9 +397,22 @@ impl<S: Scheme> System<S> {
                 task.round().progress()
             };
             let action = self.setup.on_read_arrival(ReadArrivalCtx { progress });
+            if E::ENABLED {
+                decided = Some((task.id.get(), action));
+            }
             if action == ReadArrivalAction::CancelAtBoundary {
                 *cancel_pending = true;
             }
+        }
+        if let Some((id, action)) = decided {
+            let ev = LifecycleEvent::SchemeDecision {
+                hook: SchemeHook::ReadArrival,
+                action: (action == ReadArrivalAction::CancelAtBoundary) as u8,
+                id,
+                bank: bank.get(),
+                at: self.now.get(),
+            };
+            self.emit(ev);
         }
     }
 

@@ -5,12 +5,13 @@
 use fpb_types::Cycles;
 
 use crate::bank::BankState;
+use crate::inspect::{EventSink, LifecycleEvent, PowerOp, SchemeHook};
 use crate::request::WriteTask;
-use crate::scheme::{ReleaseAction, ReleaseCtx, Scheme, WriteLifecycle, WriteStage};
+use crate::scheme::{ReleaseAction, ReleaseCtx, Scheme, WriteStage};
 
 use super::System;
 
-impl<S: Scheme> System<S> {
+impl<S: Scheme, E: EventSink> System<S, E> {
     /// Closes the round that just completed its final iteration. The
     /// scheme's release hook may hold the bank until the assumed
     /// worst-case write time has elapsed (a controller without device
@@ -20,10 +21,21 @@ impl<S: Scheme> System<S> {
             now: self.now,
             round_started_at: task.round_started_at,
         };
-        if self.setup.on_release(ctx) == ReleaseAction::HoldWorstCase {
+        let hold = self.setup.on_release(ctx) == ReleaseAction::HoldWorstCase;
+        if E::ENABLED {
+            let ev = LifecycleEvent::SchemeDecision {
+                hook: SchemeHook::Release,
+                action: hold as u8,
+                id: task.id.get(),
+                bank: bank as u8,
+                at: self.now.get(),
+            };
+            self.emit(ev);
+        }
+        if hold {
             let until = task.round_started_at + self.worst_case_write_cycles(&task);
             if until > self.now {
-                WriteLifecycle::debug_check(WriteStage::Iterating, WriteStage::Draining);
+                self.transition(task.id, bank, WriteStage::Iterating, WriteStage::Draining);
                 self.set_bank_state(bank, BankState::Draining { task, until });
                 return;
             }
@@ -44,6 +56,7 @@ impl<S: Scheme> System<S> {
 
     pub(super) fn finish_round_now(&mut self, bank: usize, mut task: WriteTask, from: WriteStage) {
         self.power.release(task.id);
+        self.emit_power(task.id.get(), PowerOp::Release, true);
         // Device fault hook: the round's closing verify may fail (skipped
         // when the watchdog already force-closed the round — it must free
         // the bank unconditionally).
@@ -61,8 +74,40 @@ impl<S: Scheme> System<S> {
         }
         let per_chip = task.round().per_chip_changed();
         self.endurance.record_write(task.line, &per_chip);
+        let stuck_before = self.faults.as_ref().map(|inj| inj.stuck_marked());
         if let Some(inj) = self.faults.as_mut() {
             inj.note_write(task.line, &self.endurance);
+        }
+        if E::ENABLED {
+            if let Some(before) = stuck_before {
+                // The injector marks at most one stuck line per write;
+                // a nonzero delta is the recorded mark.
+                let marked = self
+                    .faults
+                    .as_ref()
+                    .map(|inj| inj.stuck_marked() - before)
+                    .unwrap_or(0);
+                if marked > 0 {
+                    let ev = LifecycleEvent::StuckMarked {
+                        lines: marked,
+                        at: self.now.get(),
+                    };
+                    self.emit(ev);
+                }
+            }
+        }
+        if E::ENABLED {
+            let ev = LifecycleEvent::RoundClosed {
+                id: task.id.get(),
+                line: task.line.get(),
+                bank: bank as u8,
+                at: self.now.get(),
+                cells: task.round().total_changed() as u64,
+                truncated: task.round().was_truncated(),
+                final_round: task.current_round + 1 >= task.rounds.len(),
+                per_chip: per_chip.clone(),
+            };
+            self.emit(ev);
         }
         for (acc, c) in self.metrics.per_chip_cells.iter_mut().zip(per_chip) {
             *acc += c as u64;
@@ -80,13 +125,13 @@ impl<S: Scheme> System<S> {
         task.iterations_spent = 0;
         task.watchdog_tripped = false;
         if task.next_round() {
-            WriteLifecycle::debug_check(from, WriteStage::RoundPending);
+            self.transition(task.id, bank, from, WriteStage::RoundPending);
             self.banks[bank].state = BankState::AwaitingRound {
                 task,
                 since: self.now,
             };
         } else {
-            WriteLifecycle::debug_check(from, WriteStage::Done);
+            self.transition(task.id, bank, from, WriteStage::Done);
             self.metrics.pcm_writes += 1;
             if self.scrub_period.is_some() {
                 if self.recent_writes.len() >= 4096 {
@@ -107,11 +152,21 @@ impl<S: Scheme> System<S> {
     /// pulses only — single-level programming completes even on weak
     /// cells).
     fn handle_verify_failure(&mut self, bank: usize, mut task: WriteTask, from: WriteStage) {
-        WriteLifecycle::debug_check(from, WriteStage::Backoff);
-        let fcfg = &self.cfg.faults;
+        self.transition(task.id, bank, from, WriteStage::Backoff);
+        let fcfg = self.cfg.faults.clone();
         if task.retries < fcfg.max_retries {
             task.retries += 1;
             self.metrics.faults.retries += 1;
+            if E::ENABLED {
+                let ev = LifecycleEvent::VerifyFailed {
+                    id: task.id.get(),
+                    line: task.line.get(),
+                    at: self.now.get(),
+                    remapped: false,
+                    retries: u64::from(task.retries),
+                };
+                self.emit(ev);
+            }
             // Doubling backoff, shift-clamped so u8::MAX retries cannot
             // overflow the cycle math.
             let backoff = fcfg
@@ -132,6 +187,16 @@ impl<S: Scheme> System<S> {
             }
             self.metrics.faults.remaps += 1;
             self.metrics.faults.slc_fallbacks += 1;
+            if E::ENABLED {
+                let ev = LifecycleEvent::VerifyFailed {
+                    id: task.id.get(),
+                    line: task.line.get(),
+                    at: self.now.get(),
+                    remapped: true,
+                    retries: u64::from(task.retries),
+                };
+                self.emit(ev);
+            }
             task.retries = 0;
             task.round_mut().restart();
             task.round_mut().degrade_to_slc();
@@ -145,6 +210,7 @@ impl<S: Scheme> System<S> {
     /// the head of the write queue.
     pub(super) fn cancel_write(&mut self, mut task: WriteTask) {
         self.power.release(task.id);
+        self.emit_power(task.id.get(), PowerOp::Release, true);
         task.round_mut().restart();
         self.metrics.cancellations += 1;
         self.wrq.push_front(task);

@@ -4,13 +4,84 @@
 
 use std::cmp::Reverse;
 
+use fpb_core::WriteId;
 use fpb_types::Cycles;
 
-use crate::scheme::Scheme;
+use crate::inspect::{EventSink, LifecycleEvent, PowerOp};
+use crate::scheme::{Scheme, WriteLifecycle, WriteStage};
 
 use super::{BankState, System};
 
-impl<S: Scheme> System<S> {
+impl<S: Scheme, E: EventSink> System<S, E> {
+    // ---- lifecycle-event emission ----
+    //
+    // Every helper below is guarded by `E::ENABLED`, so with the default
+    // `NullSink` the emission sites (including the event construction and
+    // any allocation it implies) const-fold to nothing.
+
+    /// Emits one lifecycle event. Callers construct the event inside
+    /// their own `E::ENABLED` guard.
+    #[inline]
+    pub(super) fn emit(&mut self, ev: LifecycleEvent) {
+        self.sink.emit(ev);
+    }
+
+    /// Checks a write-lifecycle transition (debug builds) and records it
+    /// as a [`LifecycleEvent::Stage`]. Replaces the stage modules' bare
+    /// `WriteLifecycle::debug_check` calls: the event stream is exactly
+    /// the checked transition set.
+    #[inline]
+    pub(super) fn transition(
+        &mut self,
+        id: WriteId,
+        bank: usize,
+        from: WriteStage,
+        to: WriteStage,
+    ) {
+        WriteLifecycle::debug_check(from, to);
+        if E::ENABLED {
+            let ev = LifecycleEvent::Stage {
+                id: id.get(),
+                bank: bank as u8,
+                at: self.now.get(),
+                from,
+                to,
+            };
+            self.sink.emit(ev);
+        }
+    }
+
+    /// Records a power-accounting snapshot taken right after a
+    /// [`fpb_core::PowerManager`] call (see [`LifecycleEvent::Power`]:
+    /// absolute post-call stats, because outstanding/peak are not
+    /// additive). `id` is 0 for brownout edges.
+    #[inline]
+    pub(super) fn emit_power(&mut self, id: u64, op: PowerOp, ok: bool) {
+        if E::ENABLED {
+            let ev = LifecycleEvent::Power {
+                id,
+                op,
+                ok,
+                at: self.now.get(),
+                stats: self.power.stats().to_raw(),
+                audit: self.power.audit_violations(),
+            };
+            self.sink.emit(ev);
+        }
+    }
+
+    /// Bitmask form of [`System::banks_with_writes`] over the first 64
+    /// banks (the standard DIMM has 8) — what a step snapshot records.
+    pub(super) fn bank_write_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for (i, b) in self.banks.iter().take(64).enumerate() {
+            if b.state.has_write() || b.parked.is_some() {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
     /// Installs a bank state, registering its timed event (if any) in
     /// the event heap. Every site that creates a *new* timed state must
     /// go through this; plain assignment is reserved for restoring a

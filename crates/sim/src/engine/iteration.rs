@@ -9,19 +9,26 @@ use fpb_pcm::{IterKind, LineWrite};
 use fpb_types::{Cycles, LineAddr};
 
 use crate::bank::BankState;
+use crate::inspect::{EventSink, LifecycleEvent, PowerOp, SchemeHook};
 use crate::request::{ReadTask, WriteTask};
-use crate::scheme::{
-    AdmitAction, AdmitCtx, IterationAction, IterationCtx, Scheme, WriteLifecycle, WriteStage,
-};
+use crate::scheme::{AdmitAction, AdmitCtx, IterationAction, IterationCtx, Scheme, WriteStage};
 
 use super::{System, SCRUB_CORE};
 
-impl<S: Scheme> System<S> {
+impl<S: Scheme, E: EventSink> System<S, E> {
     /// Handles the due event on bank `b` (caller checked due-ness).
     pub(super) fn process_bank_event(&mut self, b: usize) {
         let state = std::mem::replace(&mut self.banks[b].state, BankState::Idle);
         match state {
             BankState::Reading { core, .. } => {
+                if E::ENABLED {
+                    let ev = LifecycleEvent::ReadDone {
+                        bank: b as u8,
+                        at: self.now.get(),
+                        scrub: core == SCRUB_CORE,
+                    };
+                    self.emit(ev);
+                }
                 if core == SCRUB_CORE {
                     self.metrics.scrub_reads += 1;
                 } else {
@@ -42,7 +49,7 @@ impl<S: Scheme> System<S> {
                 if in_pre_read {
                     // Comparison read done; the admitted first
                     // iteration starts now.
-                    WriteLifecycle::debug_check(WriteStage::PreRead, WriteStage::Iterating);
+                    self.transition(task.id, b, WriteStage::PreRead, WriteStage::Iterating);
                     self.start_iteration(b, task, cancel_pending);
                     return;
                 }
@@ -60,28 +67,64 @@ impl<S: Scheme> System<S> {
                     // its tokens cannot be held hostage.
                     task.watchdog_tripped = true;
                     self.metrics.faults.watchdog_trips += 1;
+                    if E::ENABLED {
+                        let ev = LifecycleEvent::WatchdogTripped {
+                            id: task.id.get(),
+                            bank: b as u8,
+                            at: self.now.get(),
+                        };
+                        self.emit(ev);
+                    }
                     self.finish_round(b, task);
                     return;
                 }
                 if task.round().is_complete() {
                     self.finish_round(b, task);
                 } else if cancel_pending {
-                    WriteLifecycle::debug_check(WriteStage::Iterating, WriteStage::Queued);
+                    self.transition(task.id, b, WriteStage::Iterating, WriteStage::Queued);
                     self.cancel_write(task);
-                } else if self.pause_requested(b) {
-                    WriteLifecycle::debug_check(WriteStage::Iterating, WriteStage::Paused);
-                    self.power.release(task.id);
-                    self.metrics.pauses += 1;
-                    self.banks[b].parked = Some(task);
-                } else if self.power.try_advance(task.id, task.round()) {
-                    WriteLifecycle::debug_check(WriteStage::Iterating, WriteStage::Iterating);
-                    self.start_iteration(b, task, false);
                 } else {
-                    WriteLifecycle::debug_check(WriteStage::Iterating, WriteStage::TokenStalled);
-                    self.banks[b].state = BankState::WriteStalled {
-                        task,
-                        since: self.now,
-                    };
+                    let pause = self.pause_requested(b);
+                    if E::ENABLED {
+                        let ev = LifecycleEvent::SchemeDecision {
+                            hook: SchemeHook::Iteration,
+                            action: pause as u8,
+                            id: task.id.get(),
+                            bank: b as u8,
+                            at: self.now.get(),
+                        };
+                        self.emit(ev);
+                    }
+                    if pause {
+                        self.transition(task.id, b, WriteStage::Iterating, WriteStage::Paused);
+                        self.power.release(task.id);
+                        self.emit_power(task.id.get(), PowerOp::Release, true);
+                        self.metrics.pauses += 1;
+                        self.banks[b].parked = Some(task);
+                    } else {
+                        let ok = self.power.try_advance(task.id, task.round());
+                        self.emit_power(task.id.get(), PowerOp::Advance, ok);
+                        if ok {
+                            self.transition(
+                                task.id,
+                                b,
+                                WriteStage::Iterating,
+                                WriteStage::Iterating,
+                            );
+                            self.start_iteration(b, task, false);
+                        } else {
+                            self.transition(
+                                task.id,
+                                b,
+                                WriteStage::Iterating,
+                                WriteStage::TokenStalled,
+                            );
+                            self.banks[b].state = BankState::WriteStalled {
+                                task,
+                                since: self.now,
+                            };
+                        }
+                    }
                 }
             }
             BankState::Draining { task, .. } => {
@@ -91,12 +134,14 @@ impl<S: Scheme> System<S> {
             }
             BankState::Backoff { mut task, .. } => {
                 // Backoff expired: re-admit the restarted round.
-                if self.power.try_admit(task.id, task.round_mut()) {
-                    WriteLifecycle::debug_check(WriteStage::Backoff, WriteStage::Iterating);
+                let ok = self.power.try_admit(task.id, task.round_mut());
+                self.emit_power(task.id.get(), PowerOp::Admit, ok);
+                if ok {
+                    self.transition(task.id, b, WriteStage::Backoff, WriteStage::Iterating);
                     task.round_started_at = self.now;
                     self.start_iteration(b, task, false);
                 } else {
-                    WriteLifecycle::debug_check(WriteStage::Backoff, WriteStage::RoundPending);
+                    self.transition(task.id, b, WriteStage::Backoff, WriteStage::RoundPending);
                     self.banks[b].state = BankState::AwaitingRound {
                         task,
                         since: self.now,
@@ -190,6 +235,17 @@ impl<S: Scheme> System<S> {
         if r.core != SCRUB_CORE {
             self.metrics.read_latency_sum += done_at.saturating_sub(r.arrival).get();
         }
+        if E::ENABLED {
+            let scrub = r.core == SCRUB_CORE;
+            let ev = LifecycleEvent::ReadIssued {
+                core: if scrub { 0 } else { r.core as u64 },
+                bank: r.bank.get(),
+                at: self.now.get(),
+                latency: done_at.saturating_sub(r.arrival).get(),
+                scrub,
+            };
+            self.emit(ev);
+        }
         self.set_bank_state(
             r.bank.index(),
             BankState::Reading {
@@ -212,8 +268,18 @@ impl<S: Scheme> System<S> {
         let admit = self.setup.on_admit(AdmitCtx {
             pre_read_done: task.pre_read_done,
         });
+        if E::ENABLED {
+            let ev = LifecycleEvent::SchemeDecision {
+                hook: SchemeHook::Admit,
+                action: (admit == AdmitAction::PreRead) as u8,
+                id: task.id.get(),
+                bank: bank as u8,
+                at: self.now.get(),
+            };
+            self.emit(ev);
+        }
         if admit == AdmitAction::PreRead {
-            WriteLifecycle::debug_check(WriteStage::Queued, WriteStage::PreRead);
+            self.transition(task.id, bank, WriteStage::Queued, WriteStage::PreRead);
             task.pre_read_done = true;
             self.set_bank_state(
                 bank,
@@ -225,7 +291,7 @@ impl<S: Scheme> System<S> {
                 },
             );
         } else {
-            WriteLifecycle::debug_check(WriteStage::Queued, WriteStage::Iterating);
+            self.transition(task.id, bank, WriteStage::Queued, WriteStage::Iterating);
             let dur = self.iteration_cycles(task.round());
             self.set_bank_state(
                 bank,

@@ -46,6 +46,7 @@ use fpb_types::{Cycles, CoreId, LineAddr, SimError, SimRng, SystemConfig};
 
 use crate::bank::BankState;
 use crate::frontend::CoreState;
+use crate::inspect::{EventSink, LifecycleEvent, NullSink};
 use crate::metrics::Metrics;
 use crate::request::{ReadTask, RoundSplitter, WriteTask};
 use crate::scheme::{Scheme, SchemeSetup};
@@ -140,8 +141,14 @@ struct Bank {
 /// [`SchemeSetup`] composition, so `System` without parameters keeps
 /// meaning what it always did. Use [`run_workload`] unless you need
 /// step-level control.
+///
+/// Also generic over the [`EventSink`] receiving lifecycle events;
+/// defaults to [`NullSink`], whose disabled `ENABLED` constant folds
+/// every emission site out of the hot path. Pass a live sink through
+/// [`System::with_cores_and_sink`] (or [`run_workload_recorded`]) to
+/// capture the run's full event stream for `fpb inspect`.
 #[derive(Debug)]
-pub struct System<S: Scheme = SchemeSetup> {
+pub struct System<S: Scheme = SchemeSetup, E: EventSink = NullSink> {
     cfg: SystemConfig,
     setup: S,
     cores: Vec<CoreState>,
@@ -200,6 +207,8 @@ pub struct System<S: Scheme = SchemeSetup> {
     /// new writes are issued in SLC fallback until the window ends.
     degraded: bool,
     metrics: Metrics,
+    /// Lifecycle-event receiver (the zero-cost [`NullSink`] by default).
+    sink: E,
 }
 
 /// Sentinel "core" index marking a background scrub read (no core to
@@ -365,6 +374,28 @@ pub fn run_workload_warmed_arena<S: Scheme + Clone>(
     sys.finish()
 }
 
+/// Like [`try_run_workload`] but recording the run's lifecycle event
+/// stream into `sink`, returned alongside the metrics. The sink observes
+/// the engine without perturbing it, so the metrics are bit-for-bit what
+/// [`try_run_workload`] would report.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for an invalid configuration or a scheduling
+/// deadlock, exactly as [`try_run_workload`] does.
+pub fn run_workload_recorded<S: Scheme + Clone, E: EventSink>(
+    workload: &Workload,
+    cfg: &SystemConfig,
+    setup: &S,
+    opts: &SimOptions,
+    sink: E,
+) -> Result<(Metrics, E), SimError> {
+    cfg.validate()?;
+    let mut sys = System::new_with_sink(workload, cfg, setup, opts, sink);
+    while sys.try_step()? {}
+    Ok(sys.finish_with_sink())
+}
+
 impl<S: Scheme + Clone> System<S> {
     /// Builds the system in its initial state.
     ///
@@ -393,6 +424,44 @@ impl<S: Scheme + Clone> System<S> {
         setup: &S,
         opts: &SimOptions,
         cores: Vec<CoreState>,
+    ) -> Self {
+        System::with_cores_and_sink(workload, cfg, setup, opts, cores, NullSink)
+    }
+}
+
+impl<S: Scheme + Clone, E: EventSink> System<S, E> {
+    /// Like [`System::new`] but recording lifecycle events into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or the workload does not provide a
+    /// profile for every core.
+    pub fn new_with_sink(
+        workload: &Workload,
+        cfg: &SystemConfig,
+        setup: &S,
+        opts: &SimOptions,
+        sink: E,
+    ) -> Self {
+        let cores = warm_cores(workload, cfg, opts);
+        Self::with_cores_and_sink(workload, cfg, setup, opts, cores, sink)
+    }
+
+    /// Builds the system around pre-warmed cores and a lifecycle-event
+    /// sink. The sink cannot change simulated results — emission sites
+    /// only observe engine state, never mutate it (enforced by the
+    /// derive-vs-inline equivalence gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_cores_and_sink(
+        workload: &Workload,
+        cfg: &SystemConfig,
+        setup: &S,
+        opts: &SimOptions,
+        cores: Vec<CoreState>,
+        sink: E,
     ) -> Self {
         // Construction-time validation with a documented `# Panics`
         // contract; unreachable from run/step per panic_reachability.
@@ -473,15 +542,28 @@ impl<S: Scheme + Clone> System<S> {
             },
             cfg: cfg.clone(),
             setup: setup.clone(),
+            sink,
         };
         for ci in 0..sys.cores.len() {
             sys.push_core_event(ci);
+        }
+        if E::ENABLED {
+            let ev = LifecycleEvent::RunStart {
+                cores: sys.cfg.cores,
+                instructions_per_core: opts.instructions_per_core,
+                chips: sys.cfg.pcm.chips,
+                banks: sys.cfg.pcm.banks,
+                total_lines: sys.cfg.pcm.total_lines(),
+                cells_per_chip_per_line: sys.cfg.pcm.cells_per_chip_per_line() as u64,
+                seed: sys.cfg.seed,
+            };
+            sys.sink.emit(ev);
         }
         sys
     }
 }
 
-impl<S: Scheme> System<S> {
+impl<S: Scheme, E: EventSink> System<S, E> {
     /// Runs to completion and returns the metrics.
     ///
     /// # Panics
@@ -531,6 +613,19 @@ impl<S: Scheme> System<S> {
     /// Like [`System::step`], returning a scheduling deadlock as
     /// [`SimError::Deadlock`] instead of panicking.
     pub fn try_step(&mut self) -> Result<bool, SimError> {
+        if E::ENABLED {
+            // One snapshot per step, before any processing — 1:1 with
+            // the samples `Timeline::record` takes, so replay rebuilds
+            // the timeline exactly.
+            let ev = LifecycleEvent::StepSnapshot {
+                at: self.now.get(),
+                bank_mask: self.bank_write_mask(),
+                burst: self.burst,
+                wrq: self.wrq.len() as u64,
+                rdq: self.rdq.len() as u64,
+            };
+            self.sink.emit(ev);
+        }
         self.update_brownout();
         if self.reference_stepper {
             self.process_bank_events();
@@ -560,7 +655,22 @@ impl<S: Scheme> System<S> {
 
     /// Finalizes and returns the metrics (call after [`System::step`]
     /// returns `false`).
-    pub fn finish(mut self) -> Metrics {
+    pub fn finish(self) -> Metrics {
+        self.finish_with_sink().0
+    }
+
+    /// Like [`System::finish`], also yielding the sink back so a
+    /// recording caller can retrieve the captured event stream.
+    pub fn finish_with_sink(mut self) -> (Metrics, E) {
+        if E::ENABLED {
+            for ci in 0..self.cores.len() {
+                let ev = LifecycleEvent::CoreDone {
+                    core: ci as u64,
+                    at: self.cores[ci].done_at.get(),
+                };
+                self.sink.emit(ev);
+            }
+        }
         self.metrics.cycles = self
             .cores
             .iter()
@@ -575,7 +685,13 @@ impl<S: Scheme> System<S> {
         }
         self.metrics.faults.audit_violations = self.power.audit_violations();
         self.metrics.endurance = Some(self.endurance);
-        self.metrics
+        if E::ENABLED {
+            let ev = LifecycleEvent::RunEnd {
+                at: self.metrics.cycles,
+            };
+            self.sink.emit(ev);
+        }
+        (self.metrics, self.sink)
     }
 
     /// Current simulation time.

@@ -7,6 +7,7 @@ use fpb_core::PowerPolicyConfig;
 use fpb_types::Cycles;
 
 use crate::bank::BankState;
+use crate::inspect::{EventSink, LifecycleEvent, PowerOp};
 use crate::scheme::Scheme;
 
 use super::System;
@@ -31,7 +32,7 @@ pub(super) fn round_caps(policy: &PowerPolicyConfig) -> (Option<u64>, Option<u64
     (cap_total, cap_chip)
 }
 
-impl<S: Scheme> System<S> {
+impl<S: Scheme, E: EventSink> System<S, E> {
     /// Applies brownout window transitions due at the current time:
     /// withholds budget tokens at a window start, restores them at the
     /// end, and enters/leaves degraded mode when a window persists past
@@ -45,10 +46,22 @@ impl<S: Scheme> System<S> {
             self.power.begin_brownout(self.cfg.faults.brownout_budget_scale);
             self.metrics.faults.brownout_windows += 1;
             self.brownout_since = Some(self.now);
+            if E::ENABLED {
+                let at = self.now.get();
+                self.emit(LifecycleEvent::BrownoutStart { at });
+            }
+            // begin_brownout audits the ledger, so the stats snapshot
+            // must be re-recorded (id 0 = no associated write).
+            self.emit_power(0, PowerOp::BrownoutBegin, true);
         } else if !active && self.power.in_brownout() {
             self.power.end_brownout();
             self.brownout_since = None;
             self.degraded = false;
+            if E::ENABLED {
+                let at = self.now.get();
+                self.emit(LifecycleEvent::BrownoutEnd { at });
+            }
+            self.emit_power(0, PowerOp::BrownoutEnd, true);
         }
         if let Some(since) = self.brownout_since {
             let threshold = self.cfg.faults.degraded_after_cycles;
@@ -76,6 +89,17 @@ impl<S: Scheme> System<S> {
         }
         if self.degraded {
             self.metrics.faults.degraded_cycles += delta;
+        }
+        if E::ENABLED && delta > 0 {
+            let ev = LifecycleEvent::TimeAdvance {
+                from: self.now.get(),
+                to: until.get(),
+                burst: self.burst,
+                writing,
+                brownout: self.power.in_brownout(),
+                degraded: self.degraded,
+            };
+            self.emit(ev);
         }
     }
 }

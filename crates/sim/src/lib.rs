@@ -15,6 +15,10 @@
 //!   [`SchemeSetup`], the spec grammar, and the [`SchemeRegistry`]
 //!   resolving spec strings for every figure.
 //! * [`engine`] — the event loop, split into lifecycle stage modules.
+//! * [`inspect`] — the event-sourced lifecycle log: typed
+//!   [`inspect::LifecycleEvent`]s emitted through an [`inspect::EventSink`],
+//!   the durable recorder, and the record/replay time-travel debugger
+//!   behind `fpb inspect`.
 //! * [`metrics`] — CPI, write throughput, burst residency, power stats.
 //! * [`exec`] — the worker pool fanning independent runs across threads.
 //! * [`supervise`] — the fault-tolerant layer over [`exec`]: panic
@@ -49,6 +53,7 @@ pub mod bench;
 pub mod engine;
 pub mod exec;
 pub mod frontend;
+pub mod inspect;
 pub mod journal;
 pub mod metrics;
 pub mod report;
@@ -63,7 +68,8 @@ pub use bench::{
     required_speedup, run_fixed_bench, run_fixed_bench_repeats, run_hotpath_bench, BenchReport,
     CacheRace, EfficiencyGate, HotpathReport, SkippedRung, LINE_WRITE_FLOOR,
 };
-pub use engine::{run_workload, try_run_workload, SimArena, SimOptions, System};
+pub use engine::{run_workload, run_workload_recorded, try_run_workload, SimArena, SimOptions, System};
+pub use inspect::{EventSink, LifecycleEvent, MemorySink, NullSink};
 pub use exec::{
     default_jobs, effective_workers, parallel_map_arena, parallel_map_indexed, schedule_by_cost,
     try_parallel_map_arena, try_parallel_map_indexed, WorkerPanic,

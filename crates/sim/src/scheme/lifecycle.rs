@@ -33,7 +33,7 @@
 /// A write's position in its lifecycle. Stages map 1:1 onto the engine's
 /// bank states (see `BankState::stage`), plus the queue-side stages
 /// `Queued` and the terminal `Done`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WriteStage {
     /// Waiting in the write queue (or re-queued after cancellation).
     Queued,

@@ -12,7 +12,9 @@ use std::fmt;
 use fpb_types::Cycles;
 
 use crate::engine::System;
+use crate::inspect::EventSink;
 use crate::metrics::Metrics;
+use crate::scheme::Scheme;
 
 /// Why [`Timeline::render`] could not produce a chart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +77,7 @@ impl Timeline {
     /// assert!(!tl.samples().is_empty());
     /// assert!(tl.metrics().cycles > 0);
     /// ```
-    pub fn record(mut system: System) -> Timeline {
+    pub fn record<S: Scheme, E: EventSink>(mut system: System<S, E>) -> Timeline {
         let mut samples = Vec::new();
         loop {
             samples.push(Sample {
@@ -93,6 +95,13 @@ impl Timeline {
             samples,
             metrics: system.finish(),
         }
+    }
+
+    /// Reassembles a timeline from parts — the replay path
+    /// ([`crate::inspect::Cursor`]) reconstructs the samples from
+    /// recorded step snapshots rather than stepping a live system.
+    pub fn from_parts(samples: Vec<Sample>, metrics: Metrics) -> Timeline {
+        Timeline { samples, metrics }
     }
 
     /// The recorded samples, in time order.

@@ -238,6 +238,147 @@ fn dispatch(cmd: Command) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Command::Lint(la) => run_lint(&la).map(|()| ExitCode::SUCCESS),
+        Command::Inspect(ia) => run_inspect(&ia),
+    }
+}
+
+/// Runs the `fpb inspect` verbs: record an event log, replay one back
+/// into metrics/timeline, scan for a breakpoint, print a write's
+/// lineage, or attribute stall time.
+fn run_inspect(ia: &cli::InspectArgs) -> Result<ExitCode, String> {
+    use cli::InspectVerb;
+    use fpb::sim::inspect::{
+        lineage_lines, read_event_log, Breakpoint, Cursor, FileSink, LifecycleEvent, MemorySink,
+        ReplayedRun, StallReport,
+    };
+    use fpb::sim::run_workload_recorded;
+
+    // Verbs that read a log share one loader; the corrupt-tail policy
+    // (replay the valid prefix) is the reader's, `--require-complete`
+    // hardens it into an error.
+    let load = |path: &str| -> Result<Vec<LifecycleEvent>, String> {
+        let log = read_event_log(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        if ia.require_complete && !log.complete {
+            return Err(format!(
+                "{path}: event log is incomplete ({} event(s) before the damage); \
+                 re-record it or drop --require-complete to replay the valid prefix",
+                log.events.len()
+            ));
+        }
+        if !log.complete {
+            eprintln!(
+                "fpb inspect: {path} is truncated — replaying the {} valid event(s) \
+                 ({} corrupt line(s) dropped)",
+                log.events.len(),
+                log.dropped_lines
+            );
+        } else {
+            println!("log {path}: {} event(s), meta: {}", log.events.len(), log.meta);
+        }
+        Ok(log.events)
+    };
+    // Verbs that simulate share one recorded run.
+    let record_in_memory = || -> Result<(Metrics, Vec<LifecycleEvent>), String> {
+        let (wl, opts) = resolve(&ia.run)?;
+        let setup = cli::build_scheme(&ia.run.scheme, &ia.run).map_err(|e| e.to_string())?;
+        let (m, sink) = run_workload_recorded(&wl, &ia.run.cfg, &setup, &opts, MemorySink::new())
+            .map_err(|e| e.to_string())?;
+        Ok((m, sink.into_events()))
+    };
+
+    match ia.verb {
+        InspectVerb::Record => {
+            let log = ia.log.as_deref().ok_or("inspect record requires --log")?;
+            let (wl, opts) = resolve(&ia.run)?;
+            let setup = cli::build_scheme(&ia.run.scheme, &ia.run).map_err(|e| e.to_string())?;
+            let spec = cli::scheme_spec(&ia.run.scheme, &ia.run).map_err(|e| e.to_string())?;
+            let meta = format!(
+                "fpb-inspect workload={} spec={} instructions={} seed={}",
+                ia.run.workload, spec, ia.run.instructions, ia.run.cfg.seed
+            );
+            let sink =
+                FileSink::create(std::path::Path::new(log), &meta).map_err(|e| e.to_string())?;
+            let (m, sink) = run_workload_recorded(&wl, &ia.run.cfg, &setup, &opts, sink)
+                .map_err(|e| e.to_string())?;
+            let events = sink.finish().map_err(|e| e.to_string())?;
+            println!("recorded {events} event(s) to {log}");
+            print_header();
+            print_metrics(&setup.label, &m, None);
+            print_wear(&m);
+            print_faults(&m);
+            Ok(ExitCode::SUCCESS)
+        }
+        InspectVerb::Replay => {
+            let log = ia.log.as_deref().ok_or("inspect replay requires --log")?;
+            let events = load(log)?;
+            let replayed = ReplayedRun::from_events(&events);
+            println!(
+                "replayed {} event(s) -> {} timeline sample(s); derived metrics:",
+                replayed.events,
+                replayed.timeline.samples().len()
+            );
+            print_header();
+            print_metrics("replayed", &replayed.metrics, None);
+            print_wear(&replayed.metrics);
+            print_faults(&replayed.metrics);
+            if ia.json {
+                println!("{}", replayed.metrics.to_json());
+            }
+            if let Some(path) = &ia.metrics_out {
+                std::fs::write(path, replayed.metrics.to_json())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        InspectVerb::Break => {
+            let expr = ia.break_expr.as_deref().ok_or("inspect break requires --break")?;
+            let mut bp = Breakpoint::parse(expr)?;
+            let events = match ia.log.as_deref() {
+                Some(log) => load(log)?,
+                None => {
+                    let (_, events) = record_in_memory()?;
+                    println!(
+                        "recorded {} event(s) from {} / {}",
+                        events.len(),
+                        ia.run.workload,
+                        ia.run.scheme
+                    );
+                    events
+                }
+            };
+            let mut cursor = Cursor::new(events);
+            match cursor.run_until(&mut bp) {
+                Some(hit) => {
+                    println!("{hit}");
+                    if let Some(id) = hit.event.write_id() {
+                        for line in lineage_lines(cursor.events(), id) {
+                            println!("{line}");
+                        }
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => Err(format!(
+                    "breakpoint {expr:?} never fired ({} event(s) scanned)",
+                    cursor.len()
+                )),
+            }
+        }
+        InspectVerb::Lineage => {
+            let log = ia.log.as_deref().ok_or("inspect lineage requires --log")?;
+            let id = ia.write.ok_or("inspect lineage requires --write")?;
+            let events = load(log)?;
+            for line in lineage_lines(&events, id) {
+                println!("{line}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        InspectVerb::Stalls => {
+            let log = ia.log.as_deref().ok_or("inspect stalls requires --log")?;
+            let events = load(log)?;
+            print!("{}", StallReport::analyze(&events).render(ia.top));
+            Ok(ExitCode::SUCCESS)
+        }
     }
 }
 
@@ -300,7 +441,7 @@ fn run_sweep(
         reuse,
     })
     .map_err(|e| e.to_string())?;
-    if !control.no_result_cache && run.reuse.runs_total > 0 {
+    if !control.no_result_cache && run.reuse.runs_total > 0 && !args.quiet {
         eprintln!(
             "fpb sweep: result reuse {} run(s) -> {} unique ({:.2}x), \
              {} cache hit(s), {} simulated",

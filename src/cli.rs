@@ -70,8 +70,68 @@ pub enum Command {
     },
     /// `fpb lint [options]`
     Lint(LintArgs),
+    /// `fpb inspect [verb] [options]` — the event-log time-travel
+    /// debugger.
+    Inspect(InspectArgs),
     /// `fpb help`
     Help,
+}
+
+/// What `fpb inspect` should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectVerb {
+    /// Run a workload and record its lifecycle event log (`--log` out).
+    Record,
+    /// Read a log and re-derive metrics/timeline from events alone.
+    Replay,
+    /// Scan a stream for the first event matching `--break`.
+    Break,
+    /// Print one write's full event trace (`--write`).
+    Lineage,
+    /// Attribute waiting time across stall kinds.
+    Stalls,
+}
+
+/// Options for `fpb inspect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectArgs {
+    /// The verb; `fpb inspect --break EXPR` with no verb means `Break`,
+    /// any other verbless invocation means `Replay`.
+    pub verb: InspectVerb,
+    /// Workload/scheme/fault flags for verbs that simulate
+    /// (`record`, and `break` without `--log`).
+    pub run: RunArgs,
+    /// Event-log path: output for `record`, input for the rest.
+    pub log: Option<String>,
+    /// Breakpoint expression (`--break`).
+    pub break_expr: Option<String>,
+    /// Write the replay-derived metrics JSON here (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Print the derived metrics JSON to stdout (`--json`).
+    pub json: bool,
+    /// Refuse logs without a valid trailer (`--require-complete`);
+    /// without it a torn log replays its valid prefix.
+    pub require_complete: bool,
+    /// Write id for `lineage` (`--write`).
+    pub write: Option<u64>,
+    /// Worst-writes rows shown by `stalls` (`--top`).
+    pub top: usize,
+}
+
+impl Default for InspectArgs {
+    fn default() -> Self {
+        InspectArgs {
+            verb: InspectVerb::Replay,
+            run: RunArgs::default(),
+            log: None,
+            break_expr: None,
+            metrics_out: None,
+            json: false,
+            require_complete: false,
+            write: None,
+            top: 5,
+        }
+    }
 }
 
 /// Supervision, journaling, and resume controls for `fpb sweep`.
@@ -200,6 +260,10 @@ pub struct RunArgs {
     /// Worker threads for sweep/compare fan-out (`--jobs`; `None` = use
     /// the machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Suppress informational stderr chatter (`--quiet`) — currently the
+    /// sweep's result-reuse summary line. Off by default: CI greps that
+    /// line, so the default stderr contract must not change.
+    pub quiet: bool,
 }
 
 impl Default for RunArgs {
@@ -215,6 +279,7 @@ impl Default for RunArgs {
             wt: None,
             audit_ledger: false,
             jobs: None,
+            quiet: false,
         }
     }
 }
@@ -422,96 +487,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .cloned()
                         .ok_or_else(|| CliError(format!("{name} needs a value")))
                 };
+                if apply_run_flag(&mut ra, flag.as_str(), &mut value)? {
+                    continue;
+                }
                 match flag.as_str() {
-                    "--workload" => ra.workload = value("--workload")?,
-                    "--scheme" => ra.scheme = value("--scheme")?,
-                    "--instructions" => {
-                        ra.instructions = parse_num(&value("--instructions")?, "--instructions")?
-                    }
-                    "--line-bytes" => {
-                        let b = parse_num(&value("--line-bytes")?, "--line-bytes")? as u32;
-                        ra.cfg = ra.cfg.with_line_bytes(b);
-                    }
-                    "--llc-mib" => {
-                        let m = parse_num(&value("--llc-mib")?, "--llc-mib")? as u32;
-                        ra.cfg = ra.cfg.with_llc_mib(m);
-                    }
-                    "--wrq" => {
-                        let w = parse_num(&value("--wrq")?, "--wrq")? as usize;
-                        ra.cfg = ra.cfg.with_write_queue(w);
-                    }
-                    "--pt-dimm" => {
-                        let p = parse_num(&value("--pt-dimm")?, "--pt-dimm")?;
-                        ra.cfg = ra.cfg.with_pt_dimm(p);
-                    }
-                    "--e-gcp" => {
-                        let e: f64 = value("--e-gcp")?
-                            .parse()
-                            .map_err(|_| CliError("--e-gcp must be a float".into()))?;
-                        ra.cfg = ra.cfg.with_gcp_efficiency(e);
-                    }
-                    "--seed" => {
-                        let s = parse_num(&value("--seed")?, "--seed")?;
-                        ra.cfg = ra.cfg.with_seed(s);
-                    }
-                    "--mapping" => {
-                        let m = value("--mapping")?;
-                        ra.mapping = Some(
-                            m.parse()
-                                .map_err(|e| CliError(format!("--mapping: {e}")))?,
-                        );
-                    }
-                    "--wc" => ra.wc = true,
-                    "--wp" => ra.wp = true,
-                    "--wt" => ra.wt = Some(parse_num(&value("--wt")?, "--wt")? as u32),
-                    "--fault-verify-rate" => {
-                        ra.cfg.faults.verify_fail_prob =
-                            parse_float(&value("--fault-verify-rate")?, "--fault-verify-rate")?
-                    }
-                    "--fault-stuck-rate" => {
-                        ra.cfg.faults.stuck_cell_prob =
-                            parse_float(&value("--fault-stuck-rate")?, "--fault-stuck-rate")?
-                    }
-                    "--fault-stuck-threshold" => {
-                        ra.cfg.faults.stuck_wear_threshold =
-                            parse_num(&value("--fault-stuck-threshold")?, "--fault-stuck-threshold")?
-                    }
-                    "--fault-brownout-period" => {
-                        ra.cfg.faults.brownout_period =
-                            parse_num(&value("--fault-brownout-period")?, "--fault-brownout-period")?
-                    }
-                    "--fault-brownout-duration" => {
-                        ra.cfg.faults.brownout_duration = parse_num(
-                            &value("--fault-brownout-duration")?,
-                            "--fault-brownout-duration",
-                        )?
-                    }
-                    "--fault-brownout-scale" => {
-                        ra.cfg.faults.brownout_budget_scale =
-                            parse_float(&value("--fault-brownout-scale")?, "--fault-brownout-scale")?
-                    }
-                    "--fault-max-retries" => {
-                        let n = parse_num(&value("--fault-max-retries")?, "--fault-max-retries")?;
-                        ra.cfg.faults.max_retries = u8::try_from(n).map_err(|_| {
-                            CliError(format!("--fault-max-retries must fit in u8, got `{n}`"))
-                        })?;
-                    }
-                    "--fault-backoff" => {
-                        ra.cfg.faults.retry_backoff_cycles =
-                            parse_num(&value("--fault-backoff")?, "--fault-backoff")?
-                    }
-                    "--fault-watchdog" => {
-                        let n = parse_num(&value("--fault-watchdog")?, "--fault-watchdog")?;
-                        ra.cfg.faults.watchdog_iterations = u32::try_from(n).map_err(|_| {
-                            CliError(format!("--fault-watchdog must fit in u32, got `{n}`"))
-                        })?;
-                    }
-                    "--fault-degraded-after" => {
-                        ra.cfg.faults.degraded_after_cycles =
-                            parse_num(&value("--fault-degraded-after")?, "--fault-degraded-after")?
-                    }
-                    "--audit-ledger" => ra.audit_ledger = true,
-                    "--jobs" => ra.jobs = Some(parse_jobs(&value("--jobs")?)?),
                     "--axis" if sub == "sweep" => {
                         let spec = value("--axis")?;
                         let (name, vals) = spec.split_once('=').ok_or_else(|| {
@@ -590,10 +569,185 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
         }
+        "inspect" => {
+            let mut it = it.peekable();
+            let mut ia = InspectArgs::default();
+            let verb = match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().map(String::as_str).unwrap_or_default();
+                    Some(match v {
+                        "record" => InspectVerb::Record,
+                        "replay" => InspectVerb::Replay,
+                        "break" => InspectVerb::Break,
+                        "lineage" => InspectVerb::Lineage,
+                        "stalls" => InspectVerb::Stalls,
+                        other => {
+                            return Err(CliError(format!(
+                                "unknown inspect verb `{other}` (expected record, replay, \
+                                 break, lineage, stalls)"
+                            )))
+                        }
+                    })
+                }
+                _ => None,
+            };
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, CliError> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                if apply_run_flag(&mut ia.run, flag.as_str(), &mut value)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--log" => ia.log = Some(value("--log")?),
+                    "--break" => ia.break_expr = Some(value("--break")?),
+                    "--metrics-out" => ia.metrics_out = Some(value("--metrics-out")?),
+                    "--json" => ia.json = true,
+                    "--require-complete" => ia.require_complete = true,
+                    "--write" => ia.write = Some(parse_num(&value("--write")?, "--write")?),
+                    "--top" => ia.top = parse_num(&value("--top")?, "--top")? as usize,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            // A verbless `fpb inspect --break EXPR` means break; any
+            // other verbless invocation replays.
+            ia.verb = verb.unwrap_or(if ia.break_expr.is_some() {
+                InspectVerb::Break
+            } else {
+                InspectVerb::Replay
+            });
+            match ia.verb {
+                InspectVerb::Record if ia.log.is_none() => {
+                    return Err(CliError("inspect record requires --log <out-file>".into()))
+                }
+                InspectVerb::Replay | InspectVerb::Stalls if ia.log.is_none() => {
+                    return Err(CliError(format!(
+                        "inspect {} requires --log <file>",
+                        if ia.verb == InspectVerb::Replay { "replay" } else { "stalls" }
+                    )))
+                }
+                InspectVerb::Break if ia.break_expr.is_none() => {
+                    return Err(CliError("inspect break requires --break <expr>".into()))
+                }
+                InspectVerb::Lineage if ia.log.is_none() || ia.write.is_none() => {
+                    return Err(CliError(
+                        "inspect lineage requires --log <file> and --write <id>".into(),
+                    ))
+                }
+                _ => {}
+            }
+            ia.run
+                .cfg
+                .validate()
+                .map_err(|e| CliError(format!("invalid configuration: {e}")))?;
+            Ok(Command::Inspect(ia))
+        }
         other => Err(CliError(format!(
             "unknown subcommand `{other}` (try `fpb help`)"
         ))),
     }
+}
+
+/// Applies one of the run/fault/modifier flags shared by `run`,
+/// `compare`, `sweep`, and `inspect` to `ra`. Returns `Ok(false)` when
+/// the flag is not one of the shared set (the caller handles it).
+fn apply_run_flag<F>(ra: &mut RunArgs, flag: &str, value: &mut F) -> Result<bool, CliError>
+where
+    F: FnMut(&str) -> Result<String, CliError>,
+{
+    match flag {
+        "--workload" => ra.workload = value("--workload")?,
+        "--scheme" => ra.scheme = value("--scheme")?,
+        "--instructions" => {
+            ra.instructions = parse_num(&value("--instructions")?, "--instructions")?
+        }
+        "--line-bytes" => {
+            let b = parse_num(&value("--line-bytes")?, "--line-bytes")? as u32;
+            ra.cfg = ra.cfg.clone().with_line_bytes(b);
+        }
+        "--llc-mib" => {
+            let m = parse_num(&value("--llc-mib")?, "--llc-mib")? as u32;
+            ra.cfg = ra.cfg.clone().with_llc_mib(m);
+        }
+        "--wrq" => {
+            let w = parse_num(&value("--wrq")?, "--wrq")? as usize;
+            ra.cfg = ra.cfg.clone().with_write_queue(w);
+        }
+        "--pt-dimm" => {
+            let p = parse_num(&value("--pt-dimm")?, "--pt-dimm")?;
+            ra.cfg = ra.cfg.clone().with_pt_dimm(p);
+        }
+        "--e-gcp" => {
+            let e: f64 = value("--e-gcp")?
+                .parse()
+                .map_err(|_| CliError("--e-gcp must be a float".into()))?;
+            ra.cfg = ra.cfg.clone().with_gcp_efficiency(e);
+        }
+        "--seed" => {
+            let s = parse_num(&value("--seed")?, "--seed")?;
+            ra.cfg = ra.cfg.clone().with_seed(s);
+        }
+        "--mapping" => {
+            let m = value("--mapping")?;
+            ra.mapping = Some(m.parse().map_err(|e| CliError(format!("--mapping: {e}")))?);
+        }
+        "--wc" => ra.wc = true,
+        "--wp" => ra.wp = true,
+        "--wt" => ra.wt = Some(parse_num(&value("--wt")?, "--wt")? as u32),
+        "--fault-verify-rate" => {
+            ra.cfg.faults.verify_fail_prob =
+                parse_float(&value("--fault-verify-rate")?, "--fault-verify-rate")?
+        }
+        "--fault-stuck-rate" => {
+            ra.cfg.faults.stuck_cell_prob =
+                parse_float(&value("--fault-stuck-rate")?, "--fault-stuck-rate")?
+        }
+        "--fault-stuck-threshold" => {
+            ra.cfg.faults.stuck_wear_threshold =
+                parse_num(&value("--fault-stuck-threshold")?, "--fault-stuck-threshold")?
+        }
+        "--fault-brownout-period" => {
+            ra.cfg.faults.brownout_period =
+                parse_num(&value("--fault-brownout-period")?, "--fault-brownout-period")?
+        }
+        "--fault-brownout-duration" => {
+            ra.cfg.faults.brownout_duration = parse_num(
+                &value("--fault-brownout-duration")?,
+                "--fault-brownout-duration",
+            )?
+        }
+        "--fault-brownout-scale" => {
+            ra.cfg.faults.brownout_budget_scale =
+                parse_float(&value("--fault-brownout-scale")?, "--fault-brownout-scale")?
+        }
+        "--fault-max-retries" => {
+            let n = parse_num(&value("--fault-max-retries")?, "--fault-max-retries")?;
+            ra.cfg.faults.max_retries = u8::try_from(n).map_err(|_| {
+                CliError(format!("--fault-max-retries must fit in u8, got `{n}`"))
+            })?;
+        }
+        "--fault-backoff" => {
+            ra.cfg.faults.retry_backoff_cycles =
+                parse_num(&value("--fault-backoff")?, "--fault-backoff")?
+        }
+        "--fault-watchdog" => {
+            let n = parse_num(&value("--fault-watchdog")?, "--fault-watchdog")?;
+            ra.cfg.faults.watchdog_iterations = u32::try_from(n).map_err(|_| {
+                CliError(format!("--fault-watchdog must fit in u32, got `{n}`"))
+            })?;
+        }
+        "--fault-degraded-after" => {
+            ra.cfg.faults.degraded_after_cycles =
+                parse_num(&value("--fault-degraded-after")?, "--fault-degraded-after")?
+        }
+        "--audit-ledger" => ra.audit_ledger = true,
+        "--jobs" => ra.jobs = Some(parse_jobs(&value("--jobs")?)?),
+        "--quiet" => ra.quiet = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn parse_num(s: &str, flag: &str) -> Result<u64, CliError> {
@@ -687,6 +841,12 @@ USAGE:
   fpb lint    [--format text|json|sarif] [--out <file>] [--sarif-out <file>]
               [--no-cache] [--cache <file>] [--update-baseline] [--rules]
               [--root <dir>] [--baseline lint-baseline.toml]
+  fpb inspect record  --log <file.fpbi> [run options]
+  fpb inspect replay  --log <file.fpbi> [--metrics-out <file>] [--json]
+              [--require-complete]
+  fpb inspect break   --break <expr> [--log <file.fpbi> | run options]
+  fpb inspect lineage --log <file.fpbi> --write <id>
+  fpb inspect stalls  --log <file.fpbi> [--top <n>]
 
 SCHEMES: --scheme takes a registry spec: BASE[:ARG...][+MOD...], e.g.
   fpb, dimm-chip, gcp:vim:0.5, fpb+wc+wp+wt8, 2xlocal. Run
@@ -699,6 +859,23 @@ PARALLELISM:
   --jobs <n>           worker threads for sweep points / compare schemes
                        [machine parallelism]; results are bit-for-bit
                        identical to --jobs 1, in the same order
+  --quiet              suppress informational stderr (the sweep's result-
+                       reuse summary line); simulation output is unchanged
+
+INSPECT (time-travel debugging): `record` runs a workload with the
+  lifecycle event recorder on and writes a checksummed fpbi1 event log;
+  recording is a pure observer — the run's metrics are bit-identical
+  with it on or off. `replay` re-derives the full metrics block and
+  bank-activity timeline from the log alone (byte-identical to the live
+  run; CI gates on it). `break` halts at the first event matching an
+  expression: degraded, brownout, verify-fail, cancelled, watchdog,
+  truncated, stage:<name>, write:<id>, or token-stalled><cycles> —
+  verbless `fpb inspect --break <expr> [run options]` records in memory
+  and scans in one step, exiting nonzero if the breakpoint never fires.
+  `lineage` prints one write's complete event trace; `stalls` attributes
+  every cycle writes spent waiting (tokens, pauses, backoff, draining).
+  A torn log replays its valid prefix by default; --require-complete
+  makes truncation an error.
 
 SWEEP SUPERVISION: every sweep point runs supervised — a panicking point
   is quarantined (reported with its panic message) without aborting the
@@ -1215,6 +1392,110 @@ mod tests {
         // An explicit base argument wins; the flag becomes an override.
         let s = build_scheme("gcp:vim", &ra).unwrap();
         assert_eq!(s.mapping, CellMapping::Naive);
+    }
+
+    #[test]
+    fn quiet_flag_parses_and_defaults_off() {
+        let Command::Run(ra) = parse(&v(&["run", "--quiet"])).unwrap() else {
+            panic!("expected Run")
+        };
+        assert!(ra.quiet);
+        assert!(!RunArgs::default().quiet, "default stderr contract must not change");
+        let Command::Sweep { args, .. } =
+            parse(&v(&["sweep", "--axis", "pt-dimm=466", "--quiet"])).unwrap()
+        else {
+            panic!("expected Sweep")
+        };
+        assert!(args.quiet);
+    }
+
+    #[test]
+    fn inspect_verbs_parse() {
+        let Command::Inspect(ia) = parse(&v(&[
+            "inspect", "record", "--log", "a.fpbi", "--workload", "lbm_m", "--seed", "7",
+        ]))
+        .unwrap() else {
+            panic!("expected Inspect")
+        };
+        assert_eq!(ia.verb, InspectVerb::Record);
+        assert_eq!(ia.log.as_deref(), Some("a.fpbi"));
+        assert_eq!(ia.run.workload, "lbm_m");
+        assert_eq!(ia.run.cfg.seed, 7);
+
+        let Command::Inspect(ia) = parse(&v(&[
+            "inspect",
+            "replay",
+            "--log",
+            "a.fpbi",
+            "--metrics-out",
+            "m.json",
+            "--json",
+            "--require-complete",
+        ]))
+        .unwrap() else {
+            panic!("expected Inspect")
+        };
+        assert_eq!(ia.verb, InspectVerb::Replay);
+        assert_eq!(ia.metrics_out.as_deref(), Some("m.json"));
+        assert!(ia.json && ia.require_complete);
+
+        let Command::Inspect(ia) =
+            parse(&v(&["inspect", "lineage", "--log", "a.fpbi", "--write", "42"])).unwrap()
+        else {
+            panic!("expected Inspect")
+        };
+        assert_eq!(ia.verb, InspectVerb::Lineage);
+        assert_eq!(ia.write, Some(42));
+
+        let Command::Inspect(ia) =
+            parse(&v(&["inspect", "stalls", "--log", "a.fpbi", "--top", "9"])).unwrap()
+        else {
+            panic!("expected Inspect")
+        };
+        assert_eq!(ia.verb, InspectVerb::Stalls);
+        assert_eq!(ia.top, 9);
+    }
+
+    #[test]
+    fn verbless_inspect_with_break_means_break() {
+        let Command::Inspect(ia) = parse(&v(&[
+            "inspect",
+            "--break",
+            "degraded",
+            "--fault-brownout-period",
+            "20000",
+            "--fault-brownout-duration",
+            "12000",
+            "--fault-degraded-after",
+            "5000",
+        ]))
+        .unwrap() else {
+            panic!("expected Inspect")
+        };
+        assert_eq!(ia.verb, InspectVerb::Break);
+        assert_eq!(ia.break_expr.as_deref(), Some("degraded"));
+        assert_eq!(ia.run.cfg.faults.degraded_after_cycles, 5000);
+        // Verbless without --break means replay, which needs a log.
+        assert!(parse(&v(&["inspect"])).is_err());
+        let Command::Inspect(ia) = parse(&v(&["inspect", "--log", "a.fpbi"])).unwrap() else {
+            panic!("expected Inspect")
+        };
+        assert_eq!(ia.verb, InspectVerb::Replay);
+    }
+
+    #[test]
+    fn inspect_rejects_incomplete_and_unknown_forms() {
+        assert!(parse(&v(&["inspect", "rewind"])).is_err(), "unknown verb");
+        assert!(parse(&v(&["inspect", "record"])).is_err(), "record needs --log");
+        assert!(parse(&v(&["inspect", "replay"])).is_err(), "replay needs --log");
+        assert!(parse(&v(&["inspect", "break"])).is_err(), "break needs --break");
+        assert!(
+            parse(&v(&["inspect", "lineage", "--log", "a.fpbi"])).is_err(),
+            "lineage needs --write"
+        );
+        assert!(parse(&v(&["inspect", "stalls"])).is_err(), "stalls needs --log");
+        assert!(parse(&v(&["inspect", "--bogus"])).is_err());
+        assert!(parse(&v(&["inspect", "replay", "--write", "nope"])).is_err());
     }
 
     #[test]
